@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: cost of payload re-encryption in the software ORAM
+ * controller.
+ *
+ * Tree ORAM must re-encrypt every bucket it writes back (otherwise
+ * ciphertext equality leaks block movement); ZeroTrace pays this with
+ * AES, this repo with Speck64 CTR. The ablation quantifies how much of
+ * the controller's latency is cipher work — context for how the ORAM
+ * curves in Figs. 4/5/10 would shift with hardware AES.
+ */
+
+#include <cstdio>
+
+#include "bench_util/bench_util.h"
+#include "core/table_generators.h"
+#include "profile/profiler.h"
+
+using namespace secemb;
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int64_t dim = args.GetInt("--dim", 64);
+
+    std::printf("=== Ablation: ORAM payload re-encryption cost "
+                "(dim %ld, single lookup) ===\n\n", dim);
+
+    bench::TablePrinter table({"ORAM", "table size", "encrypted (ms)",
+                               "plaintext (ms)", "cipher share"});
+    for (auto kind : {oram::OramKind::kPath, oram::OramKind::kCircuit}) {
+        for (int64_t size : {int64_t{4096}, int64_t{65536}}) {
+            double lat[2];
+            for (int enc = 0; enc < 2; ++enc) {
+                Rng rng(size + enc);
+                oram::OramParams params = oram::OramParams::Defaults(kind);
+                params.encrypt_payloads = (enc == 0);
+                const Tensor t = Tensor::Randn({size, dim}, rng);
+                core::OramTable gen(t, kind, rng, &params);
+                Rng idx(1);
+                lat[enc] = profile::MeasureGeneratorLatencyNs(gen, 1, idx,
+                                                              5);
+            }
+            table.AddRow(
+                {kind == oram::OramKind::kPath ? "Path" : "Circuit",
+                 std::to_string(size), bench::TablePrinter::Ms(lat[0], 3),
+                 bench::TablePrinter::Ms(lat[1], 3),
+                 bench::TablePrinter::Num(
+                     100.0 * (1.0 - lat[1] / lat[0]), 0) + "%"});
+        }
+    }
+    table.Print();
+    std::printf(
+        "\nReading: the cipher dominates Circuit ORAM (its data movement\n"
+        "is small) and is a moderate share of Path ORAM (whose oblivious\n"
+        "stash blending dominates). Hardware AES (as on the paper's Xeon)\n"
+        "shrinks but does not eliminate this term.\n");
+    return 0;
+}

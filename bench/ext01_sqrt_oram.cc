@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Extension: Square-Root ORAM vs the paper's tree-based baselines.
+ *
+ * The paper (Section VII) notes other ORAM designs exist "with different
+ * performance characteristics" but evaluates only tree ORAMs. This bench
+ * makes the comparison concrete on the embedding workload: Sqrt ORAM's
+ * mean access can undercut Path ORAM, but every sqrt(n)-th access pays
+ * an O(n log^2 n) oblivious reshuffle — a latency spike no serving SLA
+ * tolerates, which is (part of) why tree ORAMs are the practical
+ * baseline.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/bench_util.h"
+#include "oram/sqrt_oram.h"
+#include "oram/tree_oram.h"
+
+using namespace secemb;
+
+namespace {
+
+struct LatencyProfile
+{
+    double mean_ms;
+    double p50_ms;
+    double max_ms;
+};
+
+template <typename OramT>
+LatencyProfile
+Profile(OramT& oram, int64_t n, int64_t words, int accesses)
+{
+    std::vector<uint32_t> out(static_cast<size_t>(words));
+    Rng wl(3);
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(accesses));
+    for (int i = 0; i < accesses; ++i) {
+        bench::WallTimer t;
+        oram.Read(static_cast<int64_t>(wl.NextBounded(n)), out);
+        samples.push_back(t.ElapsedNs() * 1e-6);
+    }
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    double mean = 0;
+    for (double s : samples) mean += s / accesses;
+    return {mean, sorted[sorted.size() / 2], sorted.back()};
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int64_t n = args.GetInt("--size", 4096);
+    const int64_t words = args.GetInt("--dim", 64);
+    const int accesses =
+        static_cast<int>(args.GetInt("--accesses", 300));
+
+    std::printf("=== Extension: Square-Root ORAM vs tree ORAMs "
+                "(%ld blocks, dim %ld, %d random reads) ===\n\n",
+                n, words, accesses);
+
+    bench::TablePrinter table({"ORAM", "mean (ms)", "p50 (ms)",
+                               "worst access (ms)", "memory (MB)"});
+
+    {
+        Rng rng(1);
+        oram::SqrtOram sq(n, words, rng);
+        const auto p = Profile(sq, n, words, accesses);
+        table.AddRow({"Square-Root",
+                      bench::TablePrinter::Num(p.mean_ms, 3),
+                      bench::TablePrinter::Num(p.p50_ms, 3),
+                      bench::TablePrinter::Num(p.max_ms, 3),
+                      bench::TablePrinter::Mb(sq.MemoryFootprintBytes(),
+                                              1)});
+    }
+    for (auto kind : {oram::OramKind::kPath, oram::OramKind::kCircuit}) {
+        Rng rng(2);
+        auto tree = oram::MakeOram(kind, n, words, rng);
+        const auto p = Profile(*tree, n, words, accesses);
+        table.AddRow({kind == oram::OramKind::kPath ? "Path (tree)"
+                                                    : "Circuit (tree)",
+                      bench::TablePrinter::Num(p.mean_ms, 3),
+                      bench::TablePrinter::Num(p.p50_ms, 3),
+                      bench::TablePrinter::Num(p.max_ms, 3),
+                      bench::TablePrinter::Mb(
+                          tree->MemoryFootprintBytes(), 1)});
+    }
+    table.Print();
+    std::printf(
+        "\nReading: tree ORAMs have flat per-access cost; Square-Root\n"
+        "ORAM is cheap between epochs but its worst access (the oblivious\n"
+        "reshuffle) dwarfs the tree ORAMs' — disqualifying for the\n"
+        "latency-bounded serving the paper targets, while its O(n) memory\n"
+        "(no dummy tree) is the smallest of the protected storage schemes.\n");
+    return 0;
+}

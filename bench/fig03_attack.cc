@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fig. 3 reproduction: PRIME+SCOPE-style eviction-set attack against
+ * embedding lookups (paper Section III-A).
+ *
+ * Paper setup: table with 256 entries, embedding dim 64, victim index 2,
+ * 25 primed cache sets, 10 averaged measurements. The attacker sees a
+ * latency spike on the eviction set matching the secret index of the
+ * non-secure lookup — and learns nothing from the protected generators.
+ */
+
+#include <cstdio>
+
+#include "bench_util/bench_util.h"
+#include "core/factory.h"
+#include "core/table_generators.h"
+#include "sidechannel/attacker.h"
+#include "sidechannel/oblivious_check.h"
+
+using namespace secemb;
+
+namespace {
+
+constexpr int64_t kRows = 256;
+constexpr int64_t kDim = 64;
+constexpr int kMonitored = 25;
+constexpr int kRepeats = 10;
+
+sidechannel::CacheConfig
+LlcModel()
+{
+    // A slice-sized model of the paper's 42 MB Ice Lake LLC.
+    sidechannel::CacheConfig c;
+    c.num_sets = 4096;
+    c.ways = 12;
+    return c;
+}
+
+/** Run the attack once per candidate secret; returns per-secret guesses. */
+std::vector<int64_t>
+AttackSweep(core::EmbeddingGenerator& victim, uint64_t table_base)
+{
+    sidechannel::TraceRecorder rec;
+    victim.set_recorder(&rec);
+    sidechannel::CacheModel cache(LlcModel());
+    sidechannel::EvictionSetAttacker attacker(cache, table_base,
+                                              kDim * 4, kMonitored);
+    std::vector<int64_t> guesses;
+    for (int64_t secret = 0; secret < kMonitored; ++secret) {
+        rec.Clear();
+        std::vector<int64_t> batch{secret};
+        Tensor out({1, kDim});
+        victim.Generate(batch, out);
+        guesses.push_back(attacker.Attack(rec.trace(), kRepeats)
+                              .guessed_index);
+    }
+    victim.set_recorder(nullptr);
+    return guesses;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    (void)argc;
+    (void)argv;
+    std::printf("=== Fig. 3: cache side-channel attack on embedding "
+                "lookup ===\n");
+    std::printf("table: %ld entries x dim %ld, %d monitored sets, "
+                "%d-sample averaging\n\n",
+                kRows, kDim, kMonitored, kRepeats);
+
+    Rng rng(1);
+    const Tensor table = Tensor::Randn({kRows, kDim}, rng);
+
+    // --- Headline plot: probe latency per eviction set, victim index 2.
+    core::TableLookup victim(table);
+    sidechannel::TraceRecorder rec;
+    victim.set_recorder(&rec);
+    sidechannel::CacheModel cache(LlcModel());
+    sidechannel::EvictionSetAttacker attacker(cache, victim.trace_base(),
+                                              kDim * 4, kMonitored);
+    std::vector<int64_t> batch{2};  // paper's victim index
+    Tensor out({1, kDim});
+    victim.Generate(batch, out);
+    const auto obs = attacker.Attack(rec.trace(), kRepeats);
+    victim.set_recorder(nullptr);
+
+    bench::TablePrinter plot({"eviction set", "probe latency (ns, model)"});
+    for (int r = 0; r < kMonitored; ++r) {
+        plot.AddRow({std::to_string(r),
+                     bench::TablePrinter::Num(
+                         obs.probe_latency_ns[static_cast<size_t>(r)],
+                         1)});
+    }
+    plot.Print();
+    std::printf("\nattacker's guess for victim index: %ld (actual: 2)\n\n",
+                obs.guessed_index);
+
+    // --- Mutual information across generators: the leak disappears under
+    // every protected scheme.
+    std::printf("attack success across embedding generation methods "
+                "(secrets 0..%d):\n", kMonitored - 1);
+    bench::TablePrinter summary(
+        {"method", "correct guesses", "mutual information (bits)"});
+    std::vector<int64_t> secrets;
+    for (int64_t s = 0; s < kMonitored; ++s) secrets.push_back(s);
+
+    for (const auto kind :
+         {core::GenKind::kIndexLookup, core::GenKind::kLinearScan}) {
+        Rng krng(2);
+        core::GeneratorOptions opt;
+        opt.table = &table;
+        auto gen = core::MakeGenerator(kind, kRows, kDim, krng, opt);
+        const uint64_t base =
+            kind == core::GenKind::kIndexLookup
+                ? dynamic_cast<core::TableLookup*>(gen.get())->trace_base()
+                : dynamic_cast<core::LinearScanTable*>(gen.get())
+                      ->trace_base();
+        const auto guesses = AttackSweep(*gen, base);
+        int correct = 0;
+        for (int64_t s = 0; s < kMonitored; ++s) {
+            correct +=
+                guesses[static_cast<size_t>(s)] == s ? 1 : 0;
+        }
+        summary.AddRow(
+            {std::string(core::GenKindName(kind)),
+             std::to_string(correct) + "/" + std::to_string(kMonitored),
+             bench::TablePrinter::Num(
+                 sidechannel::EmpiricalMutualInformation(
+                     secrets, guesses, kMonitored),
+                 3)});
+    }
+    // DHE: there is no table region to monitor at all; by construction
+    // the attacker has no victim addresses correlated with the secret.
+    summary.AddRow({"DHE", "n/a (no table accesses exist)", "0.000"});
+    summary.Print();
+    std::printf("\nExpected shape (paper): spike at the victim index for "
+                "the non-secure lookup;\nno information for linear scan / "
+                "DHE / ORAM.\n");
+    return 0;
+}

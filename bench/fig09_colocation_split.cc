@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 9 reproduction: mean embedding-layer latency for a fixed fleet of
+ * 24 co-located models as the allocation is swept from all-linear-scan
+ * (0 DHE) to all-DHE (24), for several table sizes around the switching
+ * threshold.
+ *
+ * Single-model latencies are measured; fleet contention uses the
+ * documented ContentionModel (see fig08_colocation.cc).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/bench_util.h"
+#include "core/factory.h"
+#include "profile/profiler.h"
+
+using namespace secemb;
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int fleet = static_cast<int>(args.GetInt("--fleet", 24));
+    const int batch = 32;
+
+    std::printf("=== Fig. 9: latency vs DHE/scan allocation for %d "
+                "co-located models (dim 64, batch %d) ===\n\n",
+                fleet, batch);
+
+    const std::vector<int64_t> sizes{2048, 8192, 16384, 65536};
+    const profile::ContentionModel model;
+
+    std::vector<std::string> headers{"# models on DHE"};
+    for (int64_t s : sizes) {
+        headers.push_back("table " + std::to_string(s) + " (ms)");
+    }
+    bench::TablePrinter table(headers);
+
+    // Measure single-model latencies once per size.
+    std::vector<double> scan_ns, dhe_ns;
+    for (int64_t s : sizes) {
+        Rng rng(s);
+        auto scan =
+            core::MakeGenerator(core::GenKind::kLinearScan, s, 64, rng);
+        auto dhe =
+            core::MakeGenerator(core::GenKind::kDheUniform, s, 64, rng);
+        Rng idx(3);
+        scan_ns.push_back(
+            profile::MeasureGeneratorLatencyNs(*scan, batch, idx, 3));
+        dhe_ns.push_back(
+            profile::MeasureGeneratorLatencyNs(*dhe, batch, idx, 3));
+    }
+
+    for (int on_dhe = 0; on_dhe <= fleet; on_dhe += 4) {
+        std::vector<std::string> row{std::to_string(on_dhe)};
+        const int on_scan = fleet - on_dhe;
+        for (size_t i = 0; i < sizes.size(); ++i) {
+            // Fleet-mean latency: each model sees the mixed fleet.
+            double mean = 0.0;
+            if (on_scan > 0) {
+                mean += on_scan * model.MixedLatency(scan_ns[i], on_scan,
+                                                     on_dhe, true);
+            }
+            if (on_dhe > 0) {
+                mean += on_dhe * model.MixedLatency(dhe_ns[i], on_scan,
+                                                    on_dhe, false);
+            }
+            mean /= fleet;
+            row.push_back(bench::TablePrinter::Ms(mean, 3));
+        }
+        table.AddRow(row);
+    }
+    table.Print();
+    std::printf(
+        "\nExpected shape (paper Fig. 9): small tables are fastest with\n"
+        "everything on linear scan (leftmost column minimal); large\n"
+        "tables are fastest with everything on DHE (rightmost minimal);\n"
+        "the co-located crossover sits near the single-model threshold.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fig. 13 reproduction: latency-throughput curves under increasing model
+ * co-location, DHE Varied vs Hybrid Varied (Criteo Terabyte shape,
+ * scaled tables), plus the latency-bounded throughput at the paper's
+ * 20 ms SLA.
+ *
+ * Single-model end-to-end latency is measured; fleet contention uses the
+ * documented ContentionModel (see fig08_colocation.cc). Throughput =
+ * copies x batch / latency.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/bench_util.h"
+#include "core/factory.h"
+#include "dlrm/dataset.h"
+#include "dlrm/model.h"
+#include "profile/profiler.h"
+
+using namespace secemb;
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int64_t scale = args.GetInt("--scale", 200);
+    const int batch = static_cast<int>(args.GetInt("--batch", 32));
+    // The paper's SLA is 20 ms on a 28-core Xeon; on this host the SLA
+    // is placed at the same *relative* position (20%% above the pure-DHE
+    // single-model latency) unless overridden.
+    double sla_ms = args.GetDouble("--sla-ms", -1.0);
+
+    const dlrm::DlrmConfig cfg =
+        dlrm::DlrmConfig::CriteoTerabyte().Scaled(scale);
+    std::printf("=== Fig. 13: co-located latency-throughput "
+                "(Terabyte/%ldx, batch %d) ===\n\n", scale, batch);
+
+    // Offline profiling (Algorithm 2) before building hybrids.
+    Rng prof_rng(99);
+    const core::ThresholdTable thresholds = profile::QuickThresholds(
+        batch, 1, cfg.emb_dim, /*varied_dhe=*/true, prof_rng);
+
+    // Measure single-model latency for both schemes.
+    auto measure = [&](core::GenKind kind) {
+        Rng rng(static_cast<uint64_t>(kind) + 31);
+        std::vector<std::unique_ptr<core::EmbeddingGenerator>> gens;
+        core::GeneratorOptions opt;
+        opt.batch_size = batch;
+        opt.thresholds = &thresholds;
+        for (int64_t s : cfg.table_sizes) {
+            gens.push_back(
+                core::MakeGenerator(kind, s, cfg.emb_dim, rng, opt));
+        }
+        Rng mlp_rng(12);
+        dlrm::SecureDlrm model(cfg, std::move(gens), mlp_rng);
+        dlrm::SyntheticCtrDataset src(cfg, 5);
+        const dlrm::CtrBatch data = src.NextBatch(batch);
+        // Embedding layers only: with tables scaled down, the fixed MLP
+        // cost would otherwise bury the embedding-technique difference
+        // that the co-location study is about.
+        return bench::TimeCallNs(
+            [&] { model.EmbeddingLayersOnly(data.sparse); }, 1, 5);
+    };
+    const double dhe_ns = measure(core::GenKind::kDheVaried);
+    const double hybrid_ns = measure(core::GenKind::kHybridVaried);
+    if (sla_ms < 0.0) sla_ms = 1.2 * dhe_ns * 1e-6;
+    std::printf("single-model latency: DHE Varied %.2f ms, Hybrid Varied "
+                "%.2f ms; SLA %.2f ms\n\n",
+                dhe_ns * 1e-6, hybrid_ns * 1e-6, sla_ms);
+
+    const profile::ContentionModel model;
+    bench::TablePrinter table(
+        {"copies", "DHE Varied lat (ms)", "DHE tput (inf/s)",
+         "Hybrid Varied lat (ms)", "Hybrid tput (inf/s)"});
+    double dhe_best_tput = 0, hybrid_best_tput = 0;
+    for (int copies : {1, 4, 8, 12, 16, 20, 24}) {
+        // Hybrid models mix scan (memory-bound) and DHE layers; treat the
+        // hybrid fleet as half memory-bound for contention purposes.
+        const double d = model.Latency(dhe_ns, copies, false);
+        const double h =
+            0.5 * (model.Latency(hybrid_ns, copies, true) +
+                   model.Latency(hybrid_ns, copies, false));
+        const double d_tput = copies * batch / (d * 1e-9);
+        const double h_tput = copies * batch / (h * 1e-9);
+        if (d * 1e-6 <= sla_ms) dhe_best_tput = std::max(dhe_best_tput, d_tput);
+        if (h * 1e-6 <= sla_ms) {
+            hybrid_best_tput = std::max(hybrid_best_tput, h_tput);
+        }
+        table.AddRow({std::to_string(copies),
+                      bench::TablePrinter::Ms(d, 2),
+                      bench::TablePrinter::Num(d_tput, 0),
+                      bench::TablePrinter::Ms(h, 2),
+                      bench::TablePrinter::Num(h_tput, 0)});
+    }
+    table.Print();
+    std::printf("\nlatency-bounded throughput at %.0f ms SLA: "
+                "DHE Varied %.0f inf/s, Hybrid Varied %.0f inf/s "
+                "(%.2fx)\n",
+                sla_ms, dhe_best_tput, hybrid_best_tput,
+                dhe_best_tput > 0 ? hybrid_best_tput / dhe_best_tput
+                                  : 0.0);
+    std::printf(
+        "\nExpected shape (paper Fig. 13): the hybrid's lower single-\n"
+        "model latency translates into higher latency-bounded throughput\n"
+        "(1.4x for Terabyte in the paper).\n");
+    return 0;
+}

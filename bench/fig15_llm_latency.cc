@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fig. 15 (table) reproduction: GPT prefill (TTFT) and decode (TBT)
+ * latency per embedding-generation technique and inference batch size.
+ *
+ * Paper setting: GPT-2 medium, prompt 256, decode 128, batches
+ * {1, 8, 12}, 16 threads. Bench-scale defaults keep the real 50257
+ * vocabulary but shrink the transformer (dim 256, 4 layers), prompt and
+ * decode lengths (--prompt/--decode/--vocab/--dim to override): the
+ * comparison under test is *between embedding techniques* on an
+ * identical trunk, which the scaling preserves.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/bench_util.h"
+#include "core/factory.h"
+#include "dhe/dhe.h"
+#include "llm/gpt.h"
+#include "oram/footprint.h"
+
+using namespace secemb;
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int64_t vocab = args.GetInt("--vocab", 50257);
+    const int64_t dim = args.GetInt("--dim", 256);
+    const int64_t prompt_len = args.GetInt("--prompt", 48);
+    const int64_t decode_len = args.GetInt("--decode", 8);
+
+    llm::GptConfig cfg = llm::GptConfig::BenchScale(dim, vocab, 4);
+    cfg.max_seq = prompt_len + decode_len + 8;
+
+    std::printf("=== Fig. 15: GPT prefill/decode latency per technique "
+                "(vocab %ld, dim %ld, prompt %ld, decode %ld) ===\n\n",
+                vocab, dim, prompt_len, decode_len);
+
+    const std::vector<core::GenKind> kinds{
+        core::GenKind::kIndexLookup, core::GenKind::kLinearScan,
+        core::GenKind::kPathOram, core::GenKind::kCircuitOram,
+        core::GenKind::kDheUniform};
+
+    for (const int batch : {1, 4}) {
+        std::printf("--- inference batch %d (embedding batch %ld at "
+                    "prefill) ---\n", batch, batch * prompt_len);
+        bench::TablePrinter table({"method", "Prefill/TTFT (ms)",
+                                   "Decode/TBT (ms)"});
+        for (auto kind : kinds) {
+            Rng rng(static_cast<uint64_t>(kind) * 13 + batch);
+            core::GeneratorOptions opt;
+            opt.batch_size = batch;
+            auto gen = core::MakeGenerator(
+                kind == core::GenKind::kDheUniform
+                    ? core::GenKind::kDheUniform
+                    : kind,
+                vocab, dim, rng, opt);
+            if (kind == core::GenKind::kDheUniform) {
+                // Paper LLM sizing: k = FC widths = 2 * dim, 4 layers.
+                core::GeneratorOptions dopt;
+                dopt.dhe = std::make_shared<dhe::DheEmbedding>(
+                    dhe::DheConfig::ForLlm(dim), rng);
+                gen = core::MakeGenerator(core::GenKind::kDheUniform,
+                                          vocab, dim, rng, dopt);
+            }
+            Rng mlp_rng(777);  // same trunk weights for all methods
+            llm::SecureGpt model(cfg, std::move(gen), mlp_rng);
+
+            std::vector<std::vector<int64_t>> prompts(
+                static_cast<size_t>(batch));
+            Rng prng(5);
+            for (auto& p : prompts) {
+                for (int64_t t = 0; t < prompt_len; ++t) {
+                    p.push_back(static_cast<int64_t>(
+                        prng.NextBounded(static_cast<uint64_t>(vocab))));
+                }
+            }
+
+            bench::WallTimer timer;
+            Tensor logits = model.Prefill(prompts);
+            const double ttft_ns = timer.ElapsedNs();
+
+            timer.Reset();
+            for (int64_t s = 0; s < decode_len; ++s) {
+                const auto next = model.GreedyTokens(logits);
+                logits = model.DecodeStep(next);
+            }
+            const double tbt_ns = timer.ElapsedNs() / decode_len;
+
+            table.AddRow({std::string(core::GenKindName(kind)),
+                          bench::TablePrinter::Ms(ttft_ns, 1),
+                          bench::TablePrinter::Ms(tbt_ns, 2)});
+        }
+        table.Print();
+        std::printf("\n");
+    }
+    // --- Section VI-D3: token-embedding memory at GPT-2-medium scale,
+    //     computed closed-form (the paper: table 196.3 MB, DHE +56 MB on
+    //     a 1353.5 MB model = 4%, ORAM representation 513.6 MB = +38%).
+    {
+        const int64_t medium_vocab = 50257, medium_dim = 1024;
+        const int64_t table_bytes = medium_vocab * medium_dim * 4;
+        const dhe::DheConfig dc = dhe::DheConfig::ForLlm(medium_dim);
+        const int64_t dhe_bytes = dc.DecoderParams() * 4 + dc.k * 16;
+        const int64_t oram_bytes = oram::EstimateFootprintBytes(
+            oram::OramKind::kCircuit, medium_vocab, medium_dim);
+        const double model_mb = 1353.5;  // GPT-2 medium parameters
+        std::printf("token-embedding memory at GPT-2-medium scale:\n"
+                    "  table %.1f MB | DHE %.1f MB (%.1f%% of model) | "
+                    "Circuit ORAM %.1f MB (+%.0f%% over table)\n\n",
+                    table_bytes / 1048576.0, dhe_bytes / 1048576.0,
+                    100.0 * (dhe_bytes / 1048576.0) / model_mb,
+                    oram_bytes / 1048576.0,
+                    100.0 * (static_cast<double>(oram_bytes) /
+                                 table_bytes -
+                             1.0));
+    }
+    std::printf(
+        "Expected shape (paper Fig. 15): DHE matches the non-secure\n"
+        "lookup to within a few %% and beats Circuit ORAM at prefill\n"
+        "(up to 1.32x) and at decode for larger batches (up to 1.07x);\n"
+        "Circuit ORAM keeps a slight decode edge only at batch 1; Path\n"
+        "ORAM and linear scan are uncompetitive.\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the primitives every scheme is
+ * built from: constant-time selects, oblivious scans, hash encoding,
+ * bucket encryption, and single ORAM accesses. These are the unit costs
+ * behind every figure; regressions here shift every curve.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dhe/hashing.h"
+#include "oblivious/ct_ops.h"
+#include "oblivious/scan.h"
+#include "oram/crypto.h"
+#include "oram/tree_oram.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace secemb {
+namespace {
+
+void
+BM_SelectInline(benchmark::State& state)
+{
+    uint64_t acc = 1;
+    for (auto _ : state) {
+        acc = oblivious::Select(oblivious::EqMask(acc & 1, 1), acc + 1,
+                                acc + 2);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_SelectInline);
+
+void
+BM_SelectNoInline(benchmark::State& state)
+{
+    uint64_t acc = 1;
+    for (auto _ : state) {
+        acc = oblivious::SelectNoInline(
+            oblivious::EqMask(acc & 1, 1), acc + 1, acc + 2);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_SelectNoInline);
+
+void
+BM_LinearScanLookup(benchmark::State& state)
+{
+    const int64_t rows = state.range(0), cols = 64;
+    Rng rng(1);
+    const Tensor table = Tensor::Randn({rows, cols}, rng);
+    std::vector<float> out(static_cast<size_t>(cols));
+    int64_t idx = 0;
+    for (auto _ : state) {
+        oblivious::LinearScanLookup(table.flat(), rows, cols,
+                                    idx++ % rows, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * rows * cols * 4);
+}
+BENCHMARK(BM_LinearScanLookup)->Arg(1024)->Arg(16384);
+
+void
+BM_ObliviousArgmax(benchmark::State& state)
+{
+    Rng rng(2);
+    const Tensor v = Tensor::Randn({state.range(0)}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(oblivious::ObliviousArgmax(v.flat()));
+    }
+}
+BENCHMARK(BM_ObliviousArgmax)->Arg(50257);
+
+void
+BM_HashEncode(benchmark::State& state)
+{
+    Rng rng(3);
+    dhe::HashEncoder enc(state.range(0), 1000000, rng);
+    std::vector<int64_t> ids(32);
+    for (size_t i = 0; i < ids.size(); ++i) {
+        ids[i] = static_cast<int64_t>(i * 977);
+    }
+    Tensor out({32, state.range(0)});
+    for (auto _ : state) {
+        enc.Encode(ids, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_HashEncode)->Arg(128)->Arg(1024);
+
+void
+BM_BucketCipher(benchmark::State& state)
+{
+    oram::BucketCipher cipher(42);
+    std::vector<uint32_t> words(static_cast<size_t>(state.range(0)));
+    uint64_t version = 0;
+    for (auto _ : state) {
+        cipher.Apply(3, ++version, words);
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_BucketCipher)->Arg(256);
+
+void
+BM_OramAccess(benchmark::State& state)
+{
+    const auto kind = state.range(0) == 0 ? oram::OramKind::kPath
+                                          : oram::OramKind::kCircuit;
+    Rng rng(4);
+    auto oram = oram::MakeOram(kind, 16384, 64, rng);
+    std::vector<uint32_t> out(64);
+    int64_t id = 0;
+    for (auto _ : state) {
+        oram->Read(id++ % 16384, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_OramAccess)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"kind(0=Path,1=Circuit)"});
+
+}  // namespace
+}  // namespace secemb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Table V reproduction: DLRM accuracy parity — embedding table vs DHE
+ * Uniform vs DHE Varied, trained end-to-end on the same CTR stream.
+ *
+ * The paper's claim: with properly sized DHE, accuracy matches the table
+ * representation exactly (78.82% Kaggle / 80.96-80.97% Terabyte). The
+ * absolute numbers depend on the dataset; the reproduced claim is that
+ * all three representations train to the same accuracy on the same task.
+ * A Kaggle-shaped model with scaled tables and a feature subset keeps
+ * the run to seconds (--features/--scale/--steps to widen).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/bench_util.h"
+#include "dhe/dhe.h"
+#include "dlrm/dataset.h"
+#include "dlrm/model.h"
+
+using namespace secemb;
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int64_t scale = args.GetInt("--scale", 10000);
+    const int64_t features = args.GetInt("--features", 8);
+    const int steps = static_cast<int>(args.GetInt("--steps", 400));
+    const int batch = static_cast<int>(args.GetInt("--batch", 32));
+    // The paper's Uniform DHE (k = 1024) is sized for 1e7-row tables;
+    // with tables scaled 1e4x down the consistent "uniform" sizing is
+    // scaled the same way (otherwise the bench trains a wildly
+    // overparameterised decoder for seconds and reports noise, not the
+    // paper's converged parity).
+    const int64_t dhe_divisor = args.GetInt("--dhe-divisor", 8);
+
+    dlrm::DlrmConfig cfg = dlrm::DlrmConfig::CriteoKaggle().Scaled(scale);
+    cfg.table_sizes.resize(static_cast<size_t>(features));
+    // Keep the MLPs small in proportion.
+    cfg.bot_mlp = {64, 32, 16};
+    cfg.top_mlp = {64};
+
+    std::printf("=== Table V: DLRM accuracy parity (Kaggle-shaped, %ld "
+                "features, tables/%ldx, %d steps) ===\n\n",
+                features, scale, steps);
+
+    bench::TablePrinter table(
+        {"representation", "train loss", "test accuracy"});
+    const std::vector<std::pair<const char*, dlrm::EmbeddingMode>> modes{
+        {"Table", dlrm::EmbeddingMode::kTable},
+        {"DHE Uniform", dlrm::EmbeddingMode::kDheUniform},
+        {"DHE Varied", dlrm::EmbeddingMode::kDheVaried}};
+
+    for (const auto& [name, mode] : modes) {
+        Rng rng(100);
+        dlrm::TrainableDlrm model(
+            cfg, mode, rng,
+            mode == dlrm::EmbeddingMode::kTable ? 1 : dhe_divisor);
+        dlrm::SyntheticCtrDataset train(cfg, 1);
+        nn::Adam opt(model.Parameters(), 3e-3f);
+        float loss = 0.0f;
+        for (int step = 0; step < steps; ++step) {
+            loss = model.TrainStep(train.NextBatch(batch), opt);
+        }
+        // Held-out accuracy on a fresh stream from the same ground truth.
+        dlrm::SyntheticCtrDataset test(cfg, 1);
+        for (int skip = 0; skip < steps; ++skip) test.NextBatch(batch);
+        float acc = 0.0f;
+        const int eval_batches = 16;
+        for (int e = 0; e < eval_batches; ++e) {
+            acc += model.Evaluate(test.NextBatch(128)) / eval_batches;
+        }
+        table.AddRow({name, bench::TablePrinter::Num(loss, 4),
+                      bench::TablePrinter::Num(100.0f * acc, 2) + "%"});
+    }
+    table.Print();
+    std::printf(
+        "\nExpected (paper Table V): all three representations reach the\n"
+        "same accuracy to within noise — DHE sized for no accuracy loss.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Table VIII reproduction: embedding-generation latency and memory for a
+ * production-shaped DLRM based on the Meta 2022 trace statistics — 788
+ * tables, heavy-tailed sizes up to 4e7 rows, dim 64.
+ *
+ * Memory footprints are computed closed-form at FULL scale. Latency is
+ * measured on a scaled, subsampled table set (--sample/--scale) and
+ * extrapolated linearly in the number of tables; the paper itself
+ * measures "a few tables at a time" within its 64 GB SGX limit and
+ * aggregates, so the methodology matches.
+ */
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_util/bench_util.h"
+#include "core/factory.h"
+#include "core/hybrid.h"
+#include "dhe/dhe.h"
+#include "dlrm/config.h"
+#include "oram/footprint.h"
+#include "profile/profiler.h"
+
+using namespace secemb;
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int64_t scale = args.GetInt("--scale", 1000);
+    const int64_t sample_every = args.GetInt("--sample", 16);
+    const int batch = static_cast<int>(args.GetInt("--batch", 32));
+    const int64_t dim = 64;
+    const int64_t threshold = args.GetInt("--threshold", 3300);
+
+    const auto sizes = dlrm::MetaDatasetTableSizes();
+    std::printf("=== Table VIII: Meta-shaped DLRM, %zu tables, dim %ld "
+                "(latency on 1/%ld sample at %ldx scale) ===\n\n",
+                sizes.size(), dim, sample_every, scale);
+
+    // --- Full-scale memory (closed form).
+    int64_t table_bytes = 0, oram_bytes = 0, dheu_bytes = 0,
+            dhev_bytes = 0, hybu_bytes = 0, hybv_bytes = 0;
+    for (int64_t s : sizes) {
+        table_bytes += s * dim * 4;
+        oram_bytes +=
+            oram::EstimateFootprintBytes(oram::OramKind::kCircuit, s, dim);
+        const dhe::DheConfig du = dhe::DheConfig::Uniform(dim);
+        const dhe::DheConfig dv = dhe::DheConfig::Varied(s, dim);
+        dheu_bytes += du.DecoderParams() * 4 + du.k * 16;
+        dhev_bytes += dv.DecoderParams() * 4 + dv.k * 16;
+        const bool scan = core::ChooseTechnique(s, threshold) ==
+                          core::Technique::kLinearScan;
+        hybu_bytes += scan ? s * dim * 4
+                           : du.DecoderParams() * 4 + du.k * 16;
+        hybv_bytes += scan ? s * dim * 4
+                           : dv.DecoderParams() * 4 + dv.k * 16;
+    }
+
+    // --- Latency on a subsample of scaled tables, extrapolated.
+    std::vector<int64_t> sampled;
+    for (size_t i = 0; i < sizes.size(); i += sample_every) {
+        sampled.push_back(std::max<int64_t>(4, sizes[i] / scale));
+    }
+    const double extrapolate =
+        static_cast<double>(sizes.size()) /
+        static_cast<double>(sampled.size());
+
+    auto measure = [&](core::GenKind kind) {
+        double total = 0.0;
+        for (int64_t s : sampled) {
+            Rng rng(s + static_cast<int64_t>(kind));
+            core::GeneratorOptions opt;
+            opt.batch_size = batch;
+            auto gen = core::MakeGenerator(kind, s, dim, rng, opt);
+            Rng idx(3);
+            total += profile::MeasureGeneratorLatencyNs(*gen, batch, idx,
+                                                        2);
+        }
+        return total * extrapolate;
+    };
+
+    bench::TablePrinter table({"method", "emb. latency (ms, extrap.)",
+                               "memory (MB, full scale)", "vs table"});
+    const auto add = [&](const char* name, double ns, int64_t bytes) {
+        table.AddRow(
+            {name,
+             ns >= 0 ? bench::TablePrinter::Ms(ns, 1) : std::string("-"),
+             bench::TablePrinter::Mb(bytes, 1),
+             bench::TablePrinter::Num(100.0 * static_cast<double>(bytes) /
+                                          static_cast<double>(table_bytes),
+                                      2) + "%"});
+    };
+    add("Index Lookup (non-secure)",
+        measure(core::GenKind::kIndexLookup), table_bytes);
+    add("Linear Scan", measure(core::GenKind::kLinearScan), table_bytes);
+    add("Circuit ORAM", measure(core::GenKind::kCircuitOram), oram_bytes);
+    add("DHE Uniform", measure(core::GenKind::kDheUniform), dheu_bytes);
+    add("DHE Varied", measure(core::GenKind::kDheVaried), dhev_bytes);
+    add("Hybrid Uniform", measure(core::GenKind::kHybridUniform),
+        hybu_bytes);
+    add("Hybrid Varied", measure(core::GenKind::kHybridVaried),
+        hybv_bytes);
+    table.Print();
+
+    std::printf("\nfull-scale table representation: %.1f GB; ORAM: %.1f "
+                "GB; Hybrid Varied: %.2f GB (%.0fx smaller than table)\n",
+                table_bytes / 1e9, oram_bytes / 1e9, hybv_bytes / 1e9,
+                static_cast<double>(table_bytes) /
+                    static_cast<double>(hybv_bytes));
+    std::printf(
+        "\nExpected (paper Table VIII): Hybrid Varied ~2.4x faster than\n"
+        "Circuit ORAM; table representation ~910 GB and ORAM ~3x that,\n"
+        "impractical to deploy; DHE/Hybrid variants ~0.13-0.22%% of the\n"
+        "table footprint (>2500x smaller).\n");
+    return 0;
+}

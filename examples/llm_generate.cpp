@@ -1,0 +1,83 @@
+/**
+ * @file
+ * LLM scenario: autoregressive text generation where the user's (secret)
+ * token ids never shape the memory trace — DHE token embeddings on the
+ * way in, oblivious argmax on the way out (paper Sections IV-D, V-C).
+ *
+ *   $ ./llm_generate [--tokens N]
+ */
+
+#include <cstdio>
+
+#include "bench_util/bench_util.h"
+#include "core/factory.h"
+#include "dhe/dhe.h"
+#include "llm/corpus.h"
+#include "llm/gpt.h"
+
+using namespace secemb;
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int64_t gen_tokens = args.GetInt("--tokens", 12);
+
+    // A small GPT with the architecture of the paper's case study.
+    llm::GptConfig cfg;
+    cfg.vocab_size = 1000;
+    cfg.max_seq = 128;
+    cfg.dim = 64;
+    cfg.num_heads = 4;
+    cfg.num_layers = 2;
+
+    std::printf("secure LLM generation demo (vocab %ld, dim %ld, %ld "
+                "layers)\n\n", cfg.vocab_size, cfg.dim, cfg.num_layers);
+
+    // Token embeddings via DHE, sized by the paper's rule (2x dim).
+    Rng rng(11);
+    core::GeneratorOptions opt;
+    opt.dhe = std::make_shared<dhe::DheEmbedding>(
+        dhe::DheConfig::ForLlm(cfg.dim), rng);
+    auto tok_gen = core::MakeGenerator(core::GenKind::kDheUniform,
+                                       cfg.vocab_size, cfg.dim, rng, opt);
+    std::printf("token embedding: %s, %.2f MB (table would be %.2f MB)\n",
+                std::string(tok_gen->name()).c_str(),
+                tok_gen->MemoryFootprintBytes() / (1024.0 * 1024.0),
+                cfg.vocab_size * cfg.dim * 4 / (1024.0 * 1024.0));
+
+    llm::SecureGpt model(cfg, std::move(tok_gen), rng);
+
+    // A "user prompt" (synthetic token ids standing in for a tokenizer
+    // that, per the threat model, runs on the trusted client).
+    llm::SyntheticCorpus corpus(cfg.vocab_size, 5);
+    const auto prompt_tokens = corpus.Sample(1, 16);
+    std::vector<std::vector<int64_t>> prompts{
+        {prompt_tokens.begin(), prompt_tokens.end()}};
+
+    std::printf("prompt ids:    ");
+    for (int64_t t : prompts[0]) std::printf("%ld ", t);
+    std::printf("\n");
+
+    bench::WallTimer timer;
+    Tensor logits = model.Prefill(prompts);
+    std::printf("prefill (TTFT): %.2f ms\n", timer.ElapsedMs());
+
+    std::printf("generated ids: ");
+    timer.Reset();
+    for (int64_t s = 0; s < gen_tokens; ++s) {
+        // Greedy decoding with the *oblivious* argmax: even the choice
+        // of the output token does not branch on logit values.
+        const auto next = model.GreedyTokens(logits);
+        std::printf("%ld ", next[0]);
+        std::fflush(stdout);
+        logits = model.DecodeStep(next);
+    }
+    std::printf("\ndecode: %.2f ms/token (TBT)\n",
+                timer.ElapsedMs() / static_cast<double>(gen_tokens));
+    std::printf("\nEvery memory access in this run was independent of "
+                "the prompt's\ntoken values: the embedding layer computes "
+                "(hash + FC), and the\ngreedy sampler scans all logits "
+                "with constant-time selects.\n");
+    return 0;
+}

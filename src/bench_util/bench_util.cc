@@ -1,0 +1,118 @@
+#include "bench_util/bench_util.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace secemb::bench {
+
+double
+TimeCallNs(const std::function<void()>& fn, int warmup, int reps)
+{
+    for (int i = 0; i < warmup; ++i) fn();
+    WallTimer t;
+    for (int i = 0; i < reps; ++i) fn();
+    return t.ElapsedNs() / reps;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::AddRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::Print() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+        std::printf("|");
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : "";
+            std::printf(" %-*s |", static_cast<int>(widths[c]),
+                        cell.c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+        for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+        std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string
+TablePrinter::Ms(double ns, int precision)
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << ns * 1e-6;
+    return os.str();
+}
+
+std::string
+TablePrinter::Mb(int64_t bytes, int precision)
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << static_cast<double>(bytes) / (1024.0 * 1024.0);
+    return os.str();
+}
+
+std::string
+TablePrinter::Num(double v, int precision)
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << v;
+    return os.str();
+}
+
+Args::Args(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+}
+
+int64_t
+Args::GetInt(const std::string& flag, int64_t def) const
+{
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+        if (args_[i] == flag) return std::stoll(args_[i + 1]);
+    }
+    return def;
+}
+
+double
+Args::GetDouble(const std::string& flag, double def) const
+{
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+        if (args_[i] == flag) return std::stod(args_[i + 1]);
+    }
+    return def;
+}
+
+bool
+Args::GetBool(const std::string& flag) const
+{
+    for (const auto& a : args_) {
+        if (a == flag) return true;
+    }
+    return false;
+}
+
+}  // namespace secemb::bench

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Shared benchmark plumbing: wall-clock timing of callables, a fixed-width
+ * table printer matching the paper's result tables, and a minimal flag
+ * parser so every bench binary accepts --scale-style overrides.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace secemb::bench {
+
+/** Monotonic wall-clock timer. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(Clock::now()) {}
+    void Reset() { start_ = Clock::now(); }
+
+    double
+    ElapsedNs() const
+    {
+        return std::chrono::duration<double, std::nano>(Clock::now() -
+                                                        start_)
+            .count();
+    }
+
+    double ElapsedMs() const { return ElapsedNs() * 1e-6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Mean wall time of fn over `reps` calls after `warmup` unmeasured calls.
+ */
+double TimeCallNs(const std::function<void()>& fn, int warmup = 1,
+                  int reps = 3);
+
+/** Fixed-width console table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void AddRow(std::vector<std::string> cells);
+    void Print() const;
+
+    /** Format helpers. */
+    static std::string Ms(double ns, int precision = 2);
+    static std::string Mb(int64_t bytes, int precision = 1);
+    static std::string Num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Minimal --flag value parser. */
+class Args
+{
+  public:
+    Args(int argc, char** argv);
+
+    int64_t GetInt(const std::string& flag, int64_t def) const;
+    double GetDouble(const std::string& flag, double def) const;
+    bool GetBool(const std::string& flag) const;
+
+  private:
+    std::vector<std::string> args_;
+};
+
+}  // namespace secemb::bench

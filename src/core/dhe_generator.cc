@@ -1,0 +1,25 @@
+#include "core/dhe_generator.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace secemb::core {
+
+DheGenerator::DheGenerator(std::shared_ptr<dhe::DheEmbedding> dhe,
+                           int64_t num_rows)
+    : dhe_(std::move(dhe)), num_rows_(num_rows)
+{
+    assert(dhe_ != nullptr);
+}
+
+void
+DheGenerator::Generate(std::span<const int64_t> indices, Tensor& out)
+{
+    assert(out.size(0) == static_cast<int64_t>(indices.size()) &&
+           out.size(1) == dim());
+    const Tensor result = dhe_->Forward(indices);
+    std::memcpy(out.data(), result.data(),
+                static_cast<size_t>(result.numel()) * sizeof(float));
+}
+
+}  // namespace secemb::core

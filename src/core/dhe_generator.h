@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * DHE as a secure embedding generator (paper Section IV-A3): embeddings
+ * are *computed* from the id by hashing + FC decoding, so the memory
+ * access pattern is identical for every index.
+ */
+
+#include <memory>
+
+#include "core/embedding_generator.h"
+#include "dhe/dhe.h"
+
+namespace secemb::core {
+
+/** Inference adapter around a (trained) DheEmbedding. */
+class DheGenerator : public EmbeddingGenerator
+{
+  public:
+    /**
+     * @param dhe trained DHE; shared so hybrid deployments can also
+     *        materialise tables from the same instance
+     * @param num_rows cardinality of the feature this DHE serves (public
+     *        metadata used by the hybrid planner; DHE itself accepts any id)
+     */
+    DheGenerator(std::shared_ptr<dhe::DheEmbedding> dhe, int64_t num_rows);
+
+    void Generate(std::span<const int64_t> indices, Tensor& out) override;
+    int64_t dim() const override { return dhe_->out_dim(); }
+    int64_t num_rows() const override { return num_rows_; }
+    int64_t MemoryFootprintBytes() const override
+    {
+        return dhe_->ParamBytes();
+    }
+    std::string_view name() const override { return "DHE"; }
+    bool IsOblivious() const override { return true; }
+    void set_nthreads(int nthreads) override
+    {
+        dhe_->set_nthreads(nthreads);
+    }
+
+    dhe::DheEmbedding& dhe() { return *dhe_; }
+
+  private:
+    std::shared_ptr<dhe::DheEmbedding> dhe_;
+    int64_t num_rows_;
+};
+
+}  // namespace secemb::core

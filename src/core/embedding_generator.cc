@@ -1,0 +1,36 @@
+#include "core/embedding_generator.h"
+
+#include <cassert>
+
+namespace secemb::core {
+
+void
+EmbeddingGenerator::GeneratePooled(std::span<const int64_t> indices,
+                                   std::span<const int64_t> offsets,
+                                   Tensor& out)
+{
+    assert(offsets.size() >= 1);
+    const int64_t n = static_cast<int64_t>(offsets.size()) - 1;
+    const int64_t d = dim();
+    assert(out.size(0) == n && out.size(1) == d);
+    assert(offsets[0] == 0 &&
+           offsets[static_cast<size_t>(n)] ==
+               static_cast<int64_t>(indices.size()));
+
+    // Default: generate every bag element, then segment-sum. Each
+    // element generation is oblivious per the concrete technique, and
+    // the summation pattern depends only on the public bag lengths.
+    Tensor all({static_cast<int64_t>(indices.size()), d});
+    Generate(indices, all);
+    out.Fill(0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+        float* dst = out.data() + i * d;
+        for (int64_t e = offsets[static_cast<size_t>(i)];
+             e < offsets[static_cast<size_t>(i) + 1]; ++e) {
+            const float* src = all.data() + e * d;
+            for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+        }
+    }
+}
+
+}  // namespace secemb::core

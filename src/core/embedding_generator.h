@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * The library's central abstraction: embedding generation for categorical
+ * features, with or without side-channel protection.
+ *
+ * Implementations (paper Section IV-A):
+ *   - TableLookup      : non-secure gather (the vulnerable baseline)
+ *   - LinearScanTable  : oblivious O(n) scan per query
+ *   - OramTable        : table behind a Path / Circuit ORAM controller
+ *   - DheGenerator     : Deep Hash Embedding (compute-only, oblivious)
+ *   - HybridGenerator  : per-feature linear-scan/DHE choice (Section IV-C)
+ */
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "sidechannel/trace.h"
+#include "tensor/tensor.h"
+
+namespace secemb::core {
+
+/**
+ * Generates embedding vectors for batches of categorical indices.
+ *
+ * The index values are the secret; the batch size, embedding dimension,
+ * and table cardinality are public (paper threat model, Section III).
+ */
+class EmbeddingGenerator
+{
+  public:
+    virtual ~EmbeddingGenerator() = default;
+
+    /**
+     * Fill out (indices.size() x dim()) with the embeddings of `indices`.
+     * All indices must lie in [0, num_rows()).
+     */
+    virtual void Generate(std::span<const int64_t> indices, Tensor& out) = 0;
+
+    /** Returning convenience wrapper. */
+    Tensor
+    GenerateBatch(std::span<const int64_t> indices)
+    {
+        Tensor out({static_cast<int64_t>(indices.size()), dim()});
+        Generate(indices, out);
+        return out;
+    }
+
+    /**
+     * Pooled (multi-hot) generation: sample i owns the index bag
+     * [offsets[i], offsets[i+1]) within `indices` and receives the sum of
+     * its embeddings — the DLRM sum-pooling case where one feature holds
+     * several ids per request. out is (offsets.size()-1 x dim()).
+     *
+     * Bag lengths are public in the threat model (the number of sparse
+     * accesses is not hidden); the ids themselves remain protected by
+     * the underlying technique.
+     */
+    virtual void GeneratePooled(std::span<const int64_t> indices,
+                                std::span<const int64_t> offsets,
+                                Tensor& out);
+
+    /** Embedding dimension. */
+    virtual int64_t dim() const = 0;
+
+    /** Cardinality of the categorical feature (public). */
+    virtual int64_t num_rows() const = 0;
+
+    /** Model-state bytes attributable to this generator. */
+    virtual int64_t MemoryFootprintBytes() const = 0;
+
+    /** Technique name as used in the paper's tables. */
+    virtual std::string_view name() const = 0;
+
+    /** True if the access pattern is independent of the indices. */
+    virtual bool IsOblivious() const = 0;
+
+    /** Worker threads used for a batch (default: single-threaded). */
+    virtual void set_nthreads(int nthreads) { (void)nthreads; }
+
+    /** Attach/detach a memory trace recorder (nullptr to detach). */
+    virtual void set_recorder(sidechannel::TraceRecorder* recorder)
+    {
+        (void)recorder;
+    }
+};
+
+}  // namespace secemb::core

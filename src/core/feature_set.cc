@@ -1,0 +1,142 @@
+#include "core/feature_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace secemb::core {
+
+void
+FeatureSet::Add(std::unique_ptr<EmbeddingGenerator> generator)
+{
+    assert(generator != nullptr);
+    generators_.push_back(std::move(generator));
+}
+
+FeatureSet
+FeatureSet::Homogeneous(GenKind kind,
+                        const std::vector<int64_t>& table_sizes,
+                        int64_t dim, Rng& rng,
+                        const GeneratorOptions& options)
+{
+    FeatureSet set;
+    for (int64_t size : table_sizes) {
+        set.Add(MakeGenerator(kind, size, dim, rng, options));
+    }
+    return set;
+}
+
+FeatureSet
+FeatureSet::Hybrid(const std::vector<int64_t>& table_sizes, int64_t dim,
+                   bool varied, const ThresholdTable& thresholds,
+                   int batch_size, int nthreads, Rng& rng)
+{
+    FeatureSet set;
+    for (int64_t size : table_sizes) {
+        const dhe::DheConfig cfg =
+            varied ? dhe::DheConfig::Varied(size, dim)
+                   : dhe::DheConfig::Uniform(dim);
+        auto dhe = std::make_shared<dhe::DheEmbedding>(cfg, rng,
+                                                       nthreads);
+        set.Add(std::make_unique<HybridGenerator>(
+            std::move(dhe), size, thresholds, batch_size, nthreads));
+    }
+    return set;
+}
+
+std::vector<Tensor>
+FeatureSet::Generate(const std::vector<std::vector<int64_t>>& indices)
+{
+    assert(static_cast<int64_t>(indices.size()) == size());
+    std::vector<Tensor> out;
+    out.reserve(indices.size());
+    for (size_t f = 0; f < generators_.size(); ++f) {
+        out.push_back(generators_[f]->GenerateBatch(indices[f]));
+    }
+    return out;
+}
+
+std::vector<Tensor>
+FeatureSet::GeneratePooled(
+    const std::vector<std::vector<int64_t>>& indices,
+    const std::vector<std::vector<int64_t>>& offsets)
+{
+    assert(static_cast<int64_t>(indices.size()) == size());
+    assert(indices.size() == offsets.size());
+    std::vector<Tensor> out;
+    out.reserve(indices.size());
+    for (size_t f = 0; f < generators_.size(); ++f) {
+        const int64_t bags =
+            static_cast<int64_t>(offsets[f].size()) - 1;
+        Tensor t({bags, generators_[f]->dim()});
+        generators_[f]->GeneratePooled(indices[f], offsets[f], t);
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+void
+FeatureSet::Reconfigure(const ThresholdTable& thresholds, int batch_size,
+                        int nthreads)
+{
+    for (auto& g : generators_) {
+        if (auto* hybrid = dynamic_cast<HybridGenerator*>(g.get())) {
+            hybrid->Reconfigure(thresholds, batch_size, nthreads);
+        } else {
+            g->set_nthreads(nthreads);
+        }
+    }
+}
+
+void
+FeatureSet::set_nthreads(int nthreads)
+{
+    for (auto& g : generators_) g->set_nthreads(nthreads);
+}
+
+void
+FeatureSet::set_recorder(sidechannel::TraceRecorder* recorder)
+{
+    for (auto& g : generators_) g->set_recorder(recorder);
+}
+
+int64_t
+FeatureSet::MemoryFootprintBytes() const
+{
+    int64_t bytes = 0;
+    for (const auto& g : generators_) bytes += g->MemoryFootprintBytes();
+    return bytes;
+}
+
+bool
+FeatureSet::IsOblivious() const
+{
+    return std::all_of(generators_.begin(), generators_.end(),
+                       [](const auto& g) { return g->IsOblivious(); });
+}
+
+std::vector<std::pair<std::string, int>>
+FeatureSet::TechniqueCensus() const
+{
+    std::vector<std::pair<std::string, int>> census;
+    for (const auto& g : generators_) {
+        const std::string name(g->name());
+        auto it = std::find_if(census.begin(), census.end(),
+                               [&](const auto& p) {
+                                   return p.first == name;
+                               });
+        if (it == census.end()) {
+            census.emplace_back(name, 1);
+        } else {
+            ++it->second;
+        }
+    }
+    return census;
+}
+
+std::vector<std::unique_ptr<EmbeddingGenerator>>
+FeatureSet::TakeGenerators()
+{
+    return std::move(generators_);
+}
+
+}  // namespace secemb::core

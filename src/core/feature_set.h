@@ -1,0 +1,102 @@
+#pragma once
+
+/**
+ * @file
+ * FeatureSet: the multi-feature embedding layer.
+ *
+ * A DLRM has tens to hundreds of sparse features, each with its own
+ * cardinality and (under the hybrid scheme) its own technique. FeatureSet
+ * bundles the per-feature generators behind one object: batched
+ * generation across features, pooled (multi-hot) input support, aggregate
+ * footprint/obliviousness reporting, reconfiguration when the execution
+ * configuration changes (Algorithm 3 applied set-wide), and persistence
+ * of trained hybrid deployments.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/embedding_generator.h"
+#include "core/factory.h"
+#include "core/hybrid.h"
+
+namespace secemb::core {
+
+/** An ordered collection of per-feature embedding generators. */
+class FeatureSet
+{
+  public:
+    FeatureSet() = default;
+
+    /** Append a feature (takes ownership). */
+    void Add(std::unique_ptr<EmbeddingGenerator> generator);
+
+    /**
+     * Build a homogeneous set: one generator of `kind` per entry of
+     * table_sizes, all with dimension `dim`.
+     */
+    static FeatureSet Homogeneous(GenKind kind,
+                                  const std::vector<int64_t>& table_sizes,
+                                  int64_t dim, Rng& rng,
+                                  const GeneratorOptions& options = {});
+
+    /**
+     * Build the paper's hybrid deployment: every feature is a
+     * HybridGenerator over a shared-config DHE, allocated by the
+     * profiled thresholds for (batch_size, nthreads).
+     */
+    static FeatureSet Hybrid(const std::vector<int64_t>& table_sizes,
+                             int64_t dim, bool varied,
+                             const ThresholdTable& thresholds,
+                             int batch_size, int nthreads, Rng& rng);
+
+    /**
+     * Generate embeddings for every feature: indices[f] are the batch
+     * indices of feature f; returns one (batch x dim) tensor per feature.
+     */
+    std::vector<Tensor> Generate(
+        const std::vector<std::vector<int64_t>>& indices);
+
+    /**
+     * Pooled variant: per feature, a flat index list plus bag offsets
+     * (see EmbeddingGenerator::GeneratePooled).
+     */
+    std::vector<Tensor> GeneratePooled(
+        const std::vector<std::vector<int64_t>>& indices,
+        const std::vector<std::vector<int64_t>>& offsets);
+
+    /** Re-run the hybrid allocation for a new execution configuration
+     * (no-op for non-hybrid features). */
+    void Reconfigure(const ThresholdTable& thresholds, int batch_size,
+                     int nthreads);
+
+    void set_nthreads(int nthreads);
+    void set_recorder(sidechannel::TraceRecorder* recorder);
+
+    int64_t size() const
+    {
+        return static_cast<int64_t>(generators_.size());
+    }
+    EmbeddingGenerator& feature(int64_t f)
+    {
+        return *generators_[static_cast<size_t>(f)];
+    }
+
+    /** Sum of per-feature footprints. */
+    int64_t MemoryFootprintBytes() const;
+
+    /** True iff every feature's generator is oblivious. */
+    bool IsOblivious() const;
+
+    /** Count of features currently served by each technique name. */
+    std::vector<std::pair<std::string, int>> TechniqueCensus() const;
+
+    /** Move the generators out (e.g. into a SecureDlrm). */
+    std::vector<std::unique_ptr<EmbeddingGenerator>> TakeGenerators();
+
+  private:
+    std::vector<std::unique_ptr<EmbeddingGenerator>> generators_;
+};
+
+}  // namespace secemb::core

@@ -1,0 +1,149 @@
+#include "core/hybrid.h"
+
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace secemb::core {
+
+int64_t
+ThresholdTable::Lookup(int batch_size, int nthreads, int64_t fallback) const
+{
+    if (entries_.empty()) return fallback;
+    double best_dist = std::numeric_limits<double>::infinity();
+    int64_t best = fallback;
+    for (const auto& e : entries_) {
+        const double db = std::log2(static_cast<double>(batch_size) /
+                                    static_cast<double>(e.batch_size));
+        const double dt = std::log2(static_cast<double>(nthreads) /
+                                    static_cast<double>(e.nthreads));
+        const double dist = db * db + dt * dt;
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = e.table_size_threshold;
+        }
+    }
+    return best;
+}
+
+Technique
+ChooseTechnique(int64_t table_size, int64_t threshold)
+{
+    return table_size < threshold ? Technique::kLinearScan
+                                  : Technique::kDhe;
+}
+
+void
+SaveThresholds(const ThresholdTable& table, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("SaveThresholds: cannot open " + path);
+    }
+    for (const auto& e : table.entries()) {
+        out << e.batch_size << ' ' << e.nthreads << ' '
+            << e.table_size_threshold << '\n';
+    }
+    if (!out.good()) {
+        throw std::runtime_error("SaveThresholds: write failed");
+    }
+}
+
+ThresholdTable
+LoadThresholds(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("LoadThresholds: cannot open " + path);
+    }
+    ThresholdTable table;
+    ThresholdEntry e;
+    while (in >> e.batch_size >> e.nthreads >> e.table_size_threshold) {
+        table.Add(e);
+    }
+    if (!in.eof()) {
+        throw std::runtime_error("LoadThresholds: parse error in " +
+                                 path);
+    }
+    return table;
+}
+
+HybridGenerator::HybridGenerator(std::shared_ptr<dhe::DheEmbedding> dhe,
+                                 int64_t table_size,
+                                 const ThresholdTable& thresholds,
+                                 int batch_size, int nthreads)
+    : dhe_(std::move(dhe)), table_size_(table_size)
+{
+    assert(dhe_ != nullptr && table_size > 0);
+    dhe_gen_ = std::make_unique<DheGenerator>(dhe_, table_size_);
+    technique_ = Technique::kDhe;  // overwritten below
+    Reconfigure(thresholds, batch_size, nthreads);
+}
+
+void
+HybridGenerator::Reconfigure(const ThresholdTable& thresholds,
+                             int batch_size, int nthreads)
+{
+    nthreads_ = nthreads;
+    const int64_t threshold = thresholds.Lookup(batch_size, nthreads);
+    technique_ = ChooseTechnique(table_size_, threshold);
+    if (technique_ == Technique::kLinearScan && !scan_) {
+        // Materialise the table from the trained DHE once; later
+        // reconfigurations reuse it (Algorithm 2, offline step 2).
+        scan_ = std::make_unique<LinearScanTable>(
+            dhe_->ToTable(table_size_));
+    }
+    Active().set_nthreads(nthreads);
+}
+
+EmbeddingGenerator&
+HybridGenerator::Active()
+{
+    if (technique_ == Technique::kLinearScan) {
+        assert(scan_ != nullptr);
+        return *scan_;
+    }
+    return *dhe_gen_;
+}
+
+void
+HybridGenerator::Generate(std::span<const int64_t> indices, Tensor& out)
+{
+    Active().Generate(indices, out);
+}
+
+int64_t
+HybridGenerator::dim() const
+{
+    return dhe_->out_dim();
+}
+
+int64_t
+HybridGenerator::MemoryFootprintBytes() const
+{
+    // Deployment keeps only the representation in use: below-threshold
+    // features ship as tables, above-threshold as DHE (paper Table VI —
+    // this is why Hybrid is smaller than all-DHE).
+    if (technique_ == Technique::kLinearScan && scan_) {
+        return scan_->MemoryFootprintBytes();
+    }
+    return dhe_->ParamBytes();
+}
+
+std::string_view
+HybridGenerator::name() const
+{
+    return technique_ == Technique::kLinearScan ? "Hybrid(LinearScan)"
+                                                : "Hybrid(DHE)";
+}
+
+void
+HybridGenerator::set_nthreads(int nthreads)
+{
+    nthreads_ = nthreads;
+    Active().set_nthreads(nthreads);
+}
+
+}  // namespace secemb::core

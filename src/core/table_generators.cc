@@ -1,0 +1,155 @@
+#include "core/table_generators.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "oblivious/scan.h"
+#include "oblivious/vector_scan.h"
+#include "tensor/parallel.h"
+
+namespace secemb::core {
+
+namespace {
+
+/** Process-wide virtual address allocator for trace bases. */
+uint64_t
+NextTraceBase(uint64_t bytes)
+{
+    static sidechannel::AddressSpace space;
+    return space.Reserve(bytes);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TableLookup
+// ---------------------------------------------------------------------------
+
+TableLookup::TableLookup(Tensor table)
+    : table_(std::move(table)),
+      trace_base_(NextTraceBase(static_cast<uint64_t>(table_.SizeBytes())))
+{
+    assert(table_.dim() == 2);
+}
+
+void
+TableLookup::Generate(std::span<const int64_t> indices, Tensor& out)
+{
+    const int64_t n = static_cast<int64_t>(indices.size());
+    const int64_t d = dim();
+    assert(out.size(0) == n && out.size(1) == d);
+    const uint32_t row_bytes = static_cast<uint32_t>(d * 4);
+    for (int64_t i = 0; i < n; ++i) {
+        const int64_t idx = indices[static_cast<size_t>(i)];
+        assert(idx >= 0 && idx < num_rows());
+        // The secret-dependent access the attacker observes.
+        if (recorder_) {
+            recorder_->Record(
+                trace_base_ + static_cast<uint64_t>(idx) * row_bytes,
+                row_bytes, false);
+        }
+        std::memcpy(out.data() + i * d, table_.data() + idx * d,
+                    static_cast<size_t>(d) * sizeof(float));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LinearScanTable
+// ---------------------------------------------------------------------------
+
+LinearScanTable::LinearScanTable(Tensor table)
+    : table_(std::move(table)),
+      trace_base_(NextTraceBase(static_cast<uint64_t>(table_.SizeBytes())))
+{
+    assert(table_.dim() == 2);
+}
+
+void
+LinearScanTable::Generate(std::span<const int64_t> indices, Tensor& out)
+{
+    const int64_t n = static_cast<int64_t>(indices.size());
+    const int64_t d = dim();
+    const int64_t rows = num_rows();
+    assert(out.size(0) == n && out.size(1) == d);
+
+    // Every query touches the whole table, regardless of its index.
+    if (recorder_) {
+        for (int64_t i = 0; i < n; ++i) {
+            recorder_->Record(
+                trace_base_,
+                static_cast<uint32_t>(table_.SizeBytes()), false);
+        }
+    }
+    ParallelFor(n, nthreads_, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+            oblivious::LinearScanLookupVec(
+                table_.flat(), rows, d, indices[static_cast<size_t>(i)],
+                {out.data() + i * d, static_cast<size_t>(d)});
+        }
+    });
+}
+
+void
+LinearScanTable::GeneratePooled(std::span<const int64_t> indices,
+                                std::span<const int64_t> offsets,
+                                Tensor& out)
+{
+    const int64_t n = static_cast<int64_t>(offsets.size()) - 1;
+    const int64_t d = dim();
+    const int64_t rows = num_rows();
+    assert(out.size(0) == n && out.size(1) == d);
+    if (recorder_) {
+        for (size_t e = 0; e < indices.size(); ++e) {
+            recorder_->Record(
+                trace_base_,
+                static_cast<uint32_t>(table_.SizeBytes()), false);
+        }
+    }
+    // Accumulating scans: one pass over the table per bag element,
+    // summing directly into the output row (no per-element buffer).
+    out.Fill(0.0f);
+    ParallelFor(n, nthreads_, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+            for (int64_t e = offsets[static_cast<size_t>(i)];
+                 e < offsets[static_cast<size_t>(i) + 1]; ++e) {
+                oblivious::LinearScanLookupAccumulate(
+                    table_.flat(), rows, d,
+                    indices[static_cast<size_t>(e)],
+                    {out.data() + i * d, static_cast<size_t>(d)});
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// OramTable
+// ---------------------------------------------------------------------------
+
+OramTable::OramTable(const Tensor& table, oram::OramKind kind, Rng& rng,
+                     const oram::OramParams* params)
+    : rows_(table.size(0)), dim_(table.size(1))
+{
+    oram_ = oram::MakeOram(kind, rows_, dim_, rng, params);
+    // Embedding floats are bit-cast into the ORAM's opaque words.
+    static_assert(sizeof(float) == sizeof(uint32_t));
+    std::vector<uint32_t> words(static_cast<size_t>(table.numel()));
+    std::memcpy(words.data(), table.data(),
+                words.size() * sizeof(uint32_t));
+    oram_->BulkLoad(words);
+}
+
+void
+OramTable::Generate(std::span<const int64_t> indices, Tensor& out)
+{
+    const int64_t n = static_cast<int64_t>(indices.size());
+    assert(out.size(0) == n && out.size(1) == dim_);
+    std::vector<uint32_t> block(static_cast<size_t>(dim_));
+    // Sequential by necessity: each access mutates the controller.
+    for (int64_t i = 0; i < n; ++i) {
+        oram_->Read(indices[static_cast<size_t>(i)], block);
+        std::memcpy(out.data() + i * dim_, block.data(),
+                    block.size() * sizeof(float));
+    }
+}
+
+}  // namespace secemb::core

@@ -1,0 +1,52 @@
+#include "dhe/hashing.h"
+
+#include <cassert>
+
+namespace secemb::dhe {
+
+HashEncoder::HashEncoder(int64_t k, int64_t m, Rng& rng) : k_(k), m_(m)
+{
+    assert(k > 0 && m > 1);
+    a_.resize(static_cast<size_t>(k));
+    b_.resize(static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) {
+        a_[static_cast<size_t>(i)] = static_cast<int64_t>(
+            1 + rng.NextBounded(static_cast<uint64_t>(kPrime - 1)));
+        b_[static_cast<size_t>(i)] = static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(kPrime)));
+    }
+}
+
+void
+HashEncoder::Encode(std::span<const int64_t> ids, Tensor& out) const
+{
+    const int64_t n = static_cast<int64_t>(ids.size());
+    assert(out.dim() == 2 && out.size(0) == n && out.size(1) == k_);
+    const float scale = 2.0f / static_cast<float>(m_ - 1);
+    for (int64_t i = 0; i < n; ++i) {
+        // 128-bit intermediate avoids overflow of a*x for ids up to 2^63.
+        const unsigned __int128 x = static_cast<unsigned __int128>(
+            static_cast<uint64_t>(ids[static_cast<size_t>(i)]));
+        float* row = out.data() + i * k_;
+        for (int64_t j = 0; j < k_; ++j) {
+            const unsigned __int128 ax =
+                static_cast<unsigned __int128>(
+                    static_cast<uint64_t>(a_[static_cast<size_t>(j)])) *
+                    x +
+                static_cast<uint64_t>(b_[static_cast<size_t>(j)]);
+            const int64_t y = static_cast<int64_t>(
+                ax % static_cast<uint64_t>(kPrime)) % m_;
+            row[j] = static_cast<float>(y) * scale - 1.0f;
+        }
+    }
+}
+
+Tensor
+HashEncoder::Encode(std::span<const int64_t> ids) const
+{
+    Tensor out({static_cast<int64_t>(ids.size()), k_});
+    Encode(ids, out);
+    return out;
+}
+
+}  // namespace secemb::dhe

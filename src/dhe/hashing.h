@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Universal hash encoder for Deep Hash Embedding (paper Algorithm 1).
+ *
+ * Step 1: encode a categorical id x into k values with k universal hash
+ *         functions y_i = ((a_i x + b_i) mod p) mod m  [Carter & Wegman].
+ * Step 2: uniformly transform each y_i into a real value in [-1, 1].
+ *
+ * Both steps are pure arithmetic on the id — no table, no data-dependent
+ * memory access, which is precisely the property the paper exploits for
+ * side-channel protection.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace secemb::dhe {
+
+/** k-way universal hash encoder producing values in [-1, 1]. */
+class HashEncoder
+{
+  public:
+    /** Mersenne prime used as the universal-hash modulus. */
+    static constexpr int64_t kPrime = (int64_t{1} << 31) - 1;
+
+    /**
+     * @param k number of hash functions
+     * @param m hash bucket count (paper uses m = 1e6)
+     * @param rng source for the hash coefficients a_i, b_i
+     */
+    HashEncoder(int64_t k, int64_t m, Rng& rng);
+
+    /**
+     * Encode a batch of ids into out (n x k), each entry in [-1, 1].
+     * out must be preshaped to (ids.size(), k).
+     */
+    void Encode(std::span<const int64_t> ids, Tensor& out) const;
+
+    /** Returning convenience wrapper. */
+    Tensor Encode(std::span<const int64_t> ids) const;
+
+    int64_t k() const { return k_; }
+    int64_t m() const { return m_; }
+    /** Bytes of hash-coefficient state. */
+    int64_t ParamBytes() const { return k_ * 2 * 8; }
+
+  private:
+    int64_t k_;
+    int64_t m_;
+    std::vector<int64_t> a_;
+    std::vector<int64_t> b_;
+};
+
+}  // namespace secemb::dhe

@@ -1,0 +1,95 @@
+#include "dlrm/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace secemb::dlrm {
+
+int64_t
+DlrmConfig::InteractionOutputDim() const
+{
+    const int64_t f = num_sparse() + 1;  // embeddings + processed dense
+    if (interaction == Interaction::kDot) {
+        return emb_dim + f * (f - 1) / 2;
+    }
+    return emb_dim * f;
+}
+
+DlrmConfig
+DlrmConfig::Scaled(int64_t scale, int64_t min_rows) const
+{
+    DlrmConfig c = *this;
+    for (auto& s : c.table_sizes) {
+        s = std::max<int64_t>(min_rows, s / scale);
+    }
+    return c;
+}
+
+DlrmConfig
+DlrmConfig::CriteoKaggle()
+{
+    DlrmConfig c;
+    c.num_dense = 13;
+    // Cardinalities of the 26 categorical features of the Criteo Kaggle
+    // display-advertising dataset (as in Meta's dlrm repo).
+    c.table_sizes = {1460,    583,     10131227, 2202608, 305,    24,
+                     12517,   633,     3,        93145,   5683,   8351593,
+                     3194,    27,      14992,    5461306, 10,     5652,
+                     2173,    4,       7046547,  18,      15,     286181,
+                     105,     142572};
+    c.emb_dim = 16;
+    c.bot_mlp = {512, 256, 64, 16};
+    c.top_mlp = {512, 256};
+    c.interaction = Interaction::kDot;
+    return c;
+}
+
+DlrmConfig
+DlrmConfig::CriteoTerabyte()
+{
+    DlrmConfig c;
+    c.num_dense = 13;
+    // Criteo Terabyte cardinalities with the standard 1e7 hash cap
+    // ("Criteo only go up to 1e7", Section VI-C).
+    c.table_sizes = {9980333, 36084,   17217,   7378,    20134,  3,
+                     7112,    1442,    61,      9758201, 1333352, 313829,
+                     10,      2208,    11156,   122,     4,       970,
+                     14,      9994222, 7267859, 9946608, 415421,  12420,
+                     101,     36};
+    c.emb_dim = 64;
+    c.bot_mlp = {512, 256, 64};
+    c.top_mlp = {512, 512, 256};
+    c.interaction = Interaction::kDot;
+    return c;
+}
+
+std::vector<int64_t>
+MetaDatasetTableSizes()
+{
+    // The Meta 2022 trace has 788 tables with a heavy-tailed size
+    // distribution topping out at 4e7 rows. We reproduce that shape with
+    // a deterministic log-uniform body plus a handful of giant tables.
+    constexpr int kTables = 788;
+    std::vector<int64_t> sizes;
+    sizes.reserve(kTables);
+    Rng rng(20220101);
+    for (int i = 0; i < kTables; ++i) {
+        // Log-uniform between 1e3 and 4e7: mean ~3.8M rows, which puts
+        // the aggregate table footprint at dim 64 in the paper's ~900 GB
+        // regime.
+        const double log_size = 3.0 + rng.NextDouble() * 4.602;
+        sizes.push_back(
+            static_cast<int64_t>(std::pow(10.0, log_size)));
+    }
+    // Tail: the largest tables reach 4e7 (beyond anything in Criteo).
+    for (int i = 0; i < 12; ++i) {
+        sizes[static_cast<size_t>(i)] =
+            static_cast<int64_t>(4e7 / (1 + i));
+    }
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    return sizes;
+}
+
+}  // namespace secemb::dlrm

@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * DLRM architecture configuration and the dataset-shaped presets the paper
+ * evaluates (Table IV): Criteo Kaggle, Criteo Terabyte, and the Meta 2022
+ * synthetic-trace table-size distribution (Section VI-C).
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace secemb::dlrm {
+
+/** How sparse and dense features are combined before the top MLP. */
+enum class Interaction
+{
+    kDot,     ///< all-to-all inner products (DLRM default)
+    kConcat,  ///< plain concatenation
+};
+
+/** Architecture of one DLRM. */
+struct DlrmConfig
+{
+    int64_t num_dense = 13;
+    std::vector<int64_t> table_sizes;  ///< one per sparse feature
+    int64_t emb_dim = 16;
+    std::vector<int64_t> bot_mlp;  ///< hidden+out sizes, e.g. {512,256,64,16}
+    std::vector<int64_t> top_mlp;  ///< hidden sizes; final 1 appended
+    Interaction interaction = Interaction::kDot;
+
+    int64_t num_sparse() const
+    {
+        return static_cast<int64_t>(table_sizes.size());
+    }
+
+    /** Width of the interaction output fed to the top MLP. */
+    int64_t InteractionOutputDim() const;
+
+    /**
+     * Copy with every table size divided by `scale` (floored at
+     * `min_rows`). Benchmarks use this to fit the full pipeline in a small
+     * time/memory budget while preserving the size *spectrum*.
+     */
+    DlrmConfig Scaled(int64_t scale, int64_t min_rows = 4) const;
+
+    /** Criteo Kaggle model of Table IV (dim 16). */
+    static DlrmConfig CriteoKaggle();
+    /** Criteo Terabyte model of Table IV (dim 64). */
+    static DlrmConfig CriteoTerabyte();
+};
+
+/**
+ * Table sizes shaped like the Meta 2022 embedding-trace dataset: 788
+ * tables, heavy-tailed, max 4e7 rows (paper Section VI-C). Drawn
+ * deterministically from a log-uniform-with-tail model of the published
+ * statistics.
+ */
+std::vector<int64_t> MetaDatasetTableSizes();
+
+}  // namespace secemb::dlrm

@@ -1,0 +1,96 @@
+#include "dlrm/dataset.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace secemb::dlrm {
+
+namespace {
+
+/** Cheap stateless hash for the ground-truth bucket contributions. */
+uint64_t
+Mix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+}  // namespace
+
+SyntheticCtrDataset::SyntheticCtrDataset(const DlrmConfig& config,
+                                         uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    dense_weights_.resize(static_cast<size_t>(config.num_dense));
+    for (auto& w : dense_weights_) w = rng_.NextGaussian() * 0.5f;
+    feature_salt_.resize(config.table_sizes.size());
+    for (auto& s : feature_salt_) s = rng_.Next();
+}
+
+int64_t
+SyntheticCtrDataset::SampleIndex(int64_t table_size)
+{
+    // u^3 concentrates mass near 0: a light-weight power-law stand-in.
+    const double u = rng_.NextDouble();
+    const double skewed = u * u * u;
+    int64_t idx = static_cast<int64_t>(skewed * table_size);
+    return std::min(idx, table_size - 1);
+}
+
+float
+SyntheticCtrDataset::TrueScore(const std::vector<float>& dense,
+                               const std::vector<int64_t>& sparse_row) const
+{
+    float score = 0.0f;
+    for (size_t j = 0; j < dense.size(); ++j) {
+        score += dense_weights_[j] * dense[j];
+    }
+    for (size_t f = 0; f < sparse_row.size(); ++f) {
+        const uint64_t h =
+            Mix(feature_salt_[f] ^ static_cast<uint64_t>(sparse_row[f]));
+        // Map hash to a contribution in [-1, 1].
+        score += static_cast<float>(static_cast<double>(h >> 11) *
+                                    0x1.0p-53 * 2.0 - 1.0);
+    }
+    return score;
+}
+
+CtrBatch
+SyntheticCtrDataset::NextBatch(int64_t batch_size)
+{
+    const int64_t nd = config_.num_dense;
+    const int64_t nf = config_.num_sparse();
+    CtrBatch batch;
+    batch.dense = Tensor({batch_size, nd});
+    batch.labels = Tensor({batch_size});
+    batch.sparse.assign(static_cast<size_t>(nf),
+                        std::vector<int64_t>(
+                            static_cast<size_t>(batch_size), 0));
+
+    std::vector<float> dense_row(static_cast<size_t>(nd));
+    std::vector<int64_t> sparse_row(static_cast<size_t>(nf));
+    for (int64_t i = 0; i < batch_size; ++i) {
+        for (int64_t j = 0; j < nd; ++j) {
+            dense_row[static_cast<size_t>(j)] = rng_.NextGaussian();
+            batch.dense.at(i, j) = dense_row[static_cast<size_t>(j)];
+        }
+        for (int64_t f = 0; f < nf; ++f) {
+            const int64_t idx =
+                SampleIndex(config_.table_sizes[static_cast<size_t>(f)]);
+            sparse_row[static_cast<size_t>(f)] = idx;
+            batch.sparse[static_cast<size_t>(f)]
+                        [static_cast<size_t>(i)] = idx;
+        }
+        const float score = TrueScore(dense_row, sparse_row);
+        const float p = 1.0f / (1.0f + std::exp(-score));
+        batch.labels.at(i) =
+            (rng_.NextDouble() < static_cast<double>(p)) ? 1.0f : 0.0f;
+    }
+    return batch;
+}
+
+}  // namespace secemb::dlrm

@@ -1,0 +1,127 @@
+#include "dlrm/interaction.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace secemb::dlrm {
+
+namespace {
+
+/** Gather pointers to the f = embs+1 interacting vectors of sample i. */
+std::vector<const float*>
+VectorsOf(const Tensor& dense, const std::vector<Tensor>& embs, int64_t i,
+          int64_t d)
+{
+    std::vector<const float*> vs;
+    vs.reserve(embs.size() + 1);
+    vs.push_back(dense.data() + i * d);
+    for (const auto& e : embs) vs.push_back(e.data() + i * d);
+    return vs;
+}
+
+}  // namespace
+
+Tensor
+InteractionForward(Interaction kind, const Tensor& dense,
+                   const std::vector<Tensor>& embs)
+{
+    const int64_t batch = dense.size(0);
+    const int64_t d = dense.size(1);
+    const int64_t f = static_cast<int64_t>(embs.size()) + 1;
+    for (const auto& e : embs) {
+        assert(e.size(0) == batch && e.size(1) == d);
+        (void)e;
+    }
+
+    if (kind == Interaction::kConcat) {
+        Tensor out({batch, d * f});
+        for (int64_t i = 0; i < batch; ++i) {
+            float* o = out.data() + i * d * f;
+            std::memcpy(o, dense.data() + i * d,
+                        static_cast<size_t>(d) * sizeof(float));
+            for (size_t e = 0; e < embs.size(); ++e) {
+                std::memcpy(o + (e + 1) * d, embs[e].data() + i * d,
+                            static_cast<size_t>(d) * sizeof(float));
+            }
+        }
+        return out;
+    }
+
+    const int64_t pairs = f * (f - 1) / 2;
+    Tensor out({batch, d + pairs});
+    for (int64_t i = 0; i < batch; ++i) {
+        const auto vs = VectorsOf(dense, embs, i, d);
+        float* o = out.data() + i * (d + pairs);
+        std::memcpy(o, vs[0], static_cast<size_t>(d) * sizeof(float));
+        int64_t p = d;
+        for (int64_t a = 0; a < f; ++a) {
+            for (int64_t b = a + 1; b < f; ++b) {
+                float acc = 0.0f;
+                for (int64_t j = 0; j < d; ++j) {
+                    acc += vs[static_cast<size_t>(a)][j] *
+                           vs[static_cast<size_t>(b)][j];
+                }
+                o[p++] = acc;
+            }
+        }
+    }
+    return out;
+}
+
+void
+InteractionBackward(Interaction kind, const Tensor& dense,
+                    const std::vector<Tensor>& embs, const Tensor& grad_out,
+                    Tensor& grad_dense, std::vector<Tensor>& grad_embs)
+{
+    const int64_t batch = dense.size(0);
+    const int64_t d = dense.size(1);
+    const int64_t f = static_cast<int64_t>(embs.size()) + 1;
+
+    grad_dense = Tensor::Zeros({batch, d});
+    grad_embs.assign(embs.size(), Tensor());
+    for (size_t e = 0; e < embs.size(); ++e) {
+        grad_embs[e] = Tensor::Zeros({batch, d});
+    }
+
+    if (kind == Interaction::kConcat) {
+        assert(grad_out.size(1) == d * f);
+        for (int64_t i = 0; i < batch; ++i) {
+            const float* g = grad_out.data() + i * d * f;
+            std::memcpy(grad_dense.data() + i * d, g,
+                        static_cast<size_t>(d) * sizeof(float));
+            for (size_t e = 0; e < embs.size(); ++e) {
+                std::memcpy(grad_embs[e].data() + i * d, g + (e + 1) * d,
+                            static_cast<size_t>(d) * sizeof(float));
+            }
+        }
+        return;
+    }
+
+    const int64_t pairs = f * (f - 1) / 2;
+    assert(grad_out.size(1) == d + pairs);
+    for (int64_t i = 0; i < batch; ++i) {
+        const auto vs = VectorsOf(dense, embs, i, d);
+        std::vector<float*> gs;
+        gs.reserve(static_cast<size_t>(f));
+        gs.push_back(grad_dense.data() + i * d);
+        for (auto& ge : grad_embs) gs.push_back(ge.data() + i * d);
+
+        const float* g = grad_out.data() + i * (d + pairs);
+        // Pass-through of the dense copy.
+        for (int64_t j = 0; j < d; ++j) gs[0][j] += g[j];
+        int64_t p = d;
+        for (int64_t a = 0; a < f; ++a) {
+            for (int64_t b = a + 1; b < f; ++b) {
+                const float gp = g[p++];
+                for (int64_t j = 0; j < d; ++j) {
+                    gs[static_cast<size_t>(a)][j] +=
+                        gp * vs[static_cast<size_t>(b)][j];
+                    gs[static_cast<size_t>(b)][j] +=
+                        gp * vs[static_cast<size_t>(a)][j];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace secemb::dlrm

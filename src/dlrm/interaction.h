@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * DLRM feature interaction: concatenation or all-to-all dot products of
+ * the processed dense vector and the sparse embeddings, with backward
+ * passes for end-to-end training.
+ *
+ * Both variants are data-oblivious: the computation pattern depends only
+ * on feature counts and dimensions (paper Section V-C).
+ */
+
+#include <vector>
+
+#include "dlrm/config.h"
+#include "tensor/tensor.h"
+
+namespace secemb::dlrm {
+
+/**
+ * Forward interaction.
+ *
+ * @param kind dot or concat
+ * @param dense processed dense features (batch x d)
+ * @param embs one (batch x d) tensor per sparse feature
+ * @return dot: (batch, d + f(f-1)/2) with f = #embs + 1 — dense vector
+ *         concatenated with the upper triangle of pairwise dots;
+ *         concat: (batch, d * (#embs + 1)).
+ */
+Tensor InteractionForward(Interaction kind, const Tensor& dense,
+                          const std::vector<Tensor>& embs);
+
+/**
+ * Backward interaction: scatter grad_out into gradients for the dense
+ * vector and each embedding. grad_dense / grad_embs are allocated by the
+ * callee to match the forward inputs.
+ */
+void InteractionBackward(Interaction kind, const Tensor& dense,
+                         const std::vector<Tensor>& embs,
+                         const Tensor& grad_out, Tensor& grad_dense,
+                         std::vector<Tensor>& grad_embs);
+
+}  // namespace secemb::dlrm

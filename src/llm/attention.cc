@@ -1,0 +1,250 @@
+#include "llm/attention.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace secemb::llm {
+
+namespace {
+
+/** Numerically stable in-place softmax over the first `n` entries. */
+void
+SoftmaxRow(float* row, int64_t n)
+{
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        sum += row[j];
+    }
+    const float inv = 1.0f / static_cast<float>(sum);
+    for (int64_t j = 0; j < n; ++j) row[j] *= inv;
+}
+
+}  // namespace
+
+CausalSelfAttention::CausalSelfAttention(int64_t dim, int64_t num_heads,
+                                         Rng& rng, int nthreads)
+    : dim_(dim),
+      heads_(num_heads),
+      qkv_(dim, 3 * dim, rng, nthreads),
+      proj_(dim, dim, rng, nthreads)
+{
+    assert(dim % num_heads == 0);
+}
+
+Tensor
+CausalSelfAttention::Forward(const Tensor& x, int64_t batch, int64_t seq)
+{
+    assert(x.size(0) == batch * seq && x.size(1) == dim_);
+    batch_ = batch;
+    seq_ = seq;
+    const int64_t hd = dim_ / heads_;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+    const Tensor qkv = qkv_.Forward(x);  // (B*T, 3D)
+    q_ = Tensor({batch * seq, dim_});
+    k_ = Tensor({batch * seq, dim_});
+    v_ = Tensor({batch * seq, dim_});
+    for (int64_t r = 0; r < batch * seq; ++r) {
+        const float* src = qkv.data() + r * 3 * dim_;
+        std::copy(src, src + dim_, q_.data() + r * dim_);
+        std::copy(src + dim_, src + 2 * dim_, k_.data() + r * dim_);
+        std::copy(src + 2 * dim_, src + 3 * dim_, v_.data() + r * dim_);
+    }
+
+    probs_ = Tensor::Zeros({batch, heads_, seq, seq});
+    Tensor context({batch * seq, dim_});
+
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t h = 0; h < heads_; ++h) {
+            const int64_t off = h * hd;
+            for (int64_t t = 0; t < seq; ++t) {
+                const float* qrow = q_.data() + (b * seq + t) * dim_ + off;
+                float* prow = probs_.data() +
+                              ((b * heads_ + h) * seq + t) * seq;
+                for (int64_t u = 0; u <= t; ++u) {
+                    const float* krow =
+                        k_.data() + (b * seq + u) * dim_ + off;
+                    float acc = 0.0f;
+                    for (int64_t j = 0; j < hd; ++j) {
+                        acc += qrow[j] * krow[j];
+                    }
+                    prow[u] = acc * scale;
+                }
+                SoftmaxRow(prow, t + 1);  // rows beyond t stay zero
+                float* crow =
+                    context.data() + (b * seq + t) * dim_ + off;
+                for (int64_t j = 0; j < hd; ++j) crow[j] = 0.0f;
+                for (int64_t u = 0; u <= t; ++u) {
+                    const float p = prow[u];
+                    const float* vrow =
+                        v_.data() + (b * seq + u) * dim_ + off;
+                    for (int64_t j = 0; j < hd; ++j) {
+                        crow[j] += p * vrow[j];
+                    }
+                }
+            }
+        }
+    }
+    return proj_.Forward(context);
+}
+
+Tensor
+CausalSelfAttention::Backward(const Tensor& grad_out)
+{
+    const int64_t batch = batch_, seq = seq_;
+    const int64_t hd = dim_ / heads_;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+    const Tensor grad_context = proj_.Backward(grad_out);  // (B*T, D)
+    Tensor gq = Tensor::Zeros({batch * seq, dim_});
+    Tensor gk = Tensor::Zeros({batch * seq, dim_});
+    Tensor gv = Tensor::Zeros({batch * seq, dim_});
+
+    std::vector<float> gp(static_cast<size_t>(seq));
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t h = 0; h < heads_; ++h) {
+            const int64_t off = h * hd;
+            for (int64_t t = 0; t < seq; ++t) {
+                const float* gc =
+                    grad_context.data() + (b * seq + t) * dim_ + off;
+                const float* prow = probs_.data() +
+                                    ((b * heads_ + h) * seq + t) * seq;
+                // dP = gC V^T ; dV += P^T gC
+                for (int64_t u = 0; u <= t; ++u) {
+                    const float* vrow =
+                        v_.data() + (b * seq + u) * dim_ + off;
+                    float* gvrow =
+                        gv.data() + (b * seq + u) * dim_ + off;
+                    float acc = 0.0f;
+                    const float p = prow[u];
+                    for (int64_t j = 0; j < hd; ++j) {
+                        acc += gc[j] * vrow[j];
+                        gvrow[j] += p * gc[j];
+                    }
+                    gp[static_cast<size_t>(u)] = acc;
+                }
+                // Softmax backward: gS = P o (gP - sum(gP o P)).
+                double dot = 0.0;
+                for (int64_t u = 0; u <= t; ++u) {
+                    dot += static_cast<double>(
+                               gp[static_cast<size_t>(u)]) *
+                           prow[u];
+                }
+                const float* qrow = q_.data() + (b * seq + t) * dim_ + off;
+                float* gqrow = gq.data() + (b * seq + t) * dim_ + off;
+                for (int64_t u = 0; u <= t; ++u) {
+                    const float gs =
+                        prow[u] * (gp[static_cast<size_t>(u)] -
+                                   static_cast<float>(dot)) *
+                        scale;
+                    const float* krow =
+                        k_.data() + (b * seq + u) * dim_ + off;
+                    float* gkrow =
+                        gk.data() + (b * seq + u) * dim_ + off;
+                    for (int64_t j = 0; j < hd; ++j) {
+                        gqrow[j] += gs * krow[j];
+                        gkrow[j] += gs * qrow[j];
+                    }
+                }
+            }
+        }
+    }
+
+    // Repack into qkv gradient and run the projection backward.
+    Tensor gqkv({batch * seq, 3 * dim_});
+    for (int64_t r = 0; r < batch * seq; ++r) {
+        float* dst = gqkv.data() + r * 3 * dim_;
+        std::copy(gq.data() + r * dim_, gq.data() + (r + 1) * dim_, dst);
+        std::copy(gk.data() + r * dim_, gk.data() + (r + 1) * dim_,
+                  dst + dim_);
+        std::copy(gv.data() + r * dim_, gv.data() + (r + 1) * dim_,
+                  dst + 2 * dim_);
+    }
+    return qkv_.Backward(gqkv);
+}
+
+Tensor
+CausalSelfAttention::ForwardCached(const Tensor& x, int64_t batch,
+                                   int64_t new_seq, KvCache& cache)
+{
+    assert(x.size(0) == batch * new_seq && x.size(1) == dim_);
+    assert(cache.k.size(0) == batch);
+    const int64_t hd = dim_ / heads_;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    const int64_t past = cache.len;
+    const int64_t max_seq = cache.k.size(1);
+    assert(past + new_seq <= max_seq);
+    (void)max_seq;
+
+    const Tensor qkv = qkv_.Forward(x);
+    // Append K/V to the cache.
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t t = 0; t < new_seq; ++t) {
+            const float* src = qkv.data() + (b * new_seq + t) * 3 * dim_;
+            float* kdst = cache.k.data() +
+                          (b * cache.k.size(1) + past + t) * dim_;
+            float* vdst = cache.v.data() +
+                          (b * cache.v.size(1) + past + t) * dim_;
+            std::copy(src + dim_, src + 2 * dim_, kdst);
+            std::copy(src + 2 * dim_, src + 3 * dim_, vdst);
+        }
+    }
+
+    Tensor context({batch * new_seq, dim_});
+    std::vector<float> scores(static_cast<size_t>(past + new_seq));
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t h = 0; h < heads_; ++h) {
+            const int64_t off = h * hd;
+            for (int64_t t = 0; t < new_seq; ++t) {
+                const float* qrow =
+                    qkv.data() + (b * new_seq + t) * 3 * dim_ + off;
+                const int64_t visible = past + t + 1;
+                for (int64_t u = 0; u < visible; ++u) {
+                    const float* krow =
+                        cache.k.data() +
+                        (b * cache.k.size(1) + u) * dim_ + off;
+                    float acc = 0.0f;
+                    for (int64_t j = 0; j < hd; ++j) {
+                        acc += qrow[j] * krow[j];
+                    }
+                    scores[static_cast<size_t>(u)] = acc * scale;
+                }
+                SoftmaxRow(scores.data(), visible);
+                float* crow =
+                    context.data() + (b * new_seq + t) * dim_ + off;
+                for (int64_t j = 0; j < hd; ++j) crow[j] = 0.0f;
+                for (int64_t u = 0; u < visible; ++u) {
+                    const float p = scores[static_cast<size_t>(u)];
+                    const float* vrow =
+                        cache.v.data() +
+                        (b * cache.v.size(1) + u) * dim_ + off;
+                    for (int64_t j = 0; j < hd; ++j) {
+                        crow[j] += p * vrow[j];
+                    }
+                }
+            }
+        }
+    }
+    cache.len = past + new_seq;
+    return proj_.Forward(context);
+}
+
+std::vector<nn::Parameter*>
+CausalSelfAttention::Parameters()
+{
+    std::vector<nn::Parameter*> ps = qkv_.Parameters();
+    for (auto* p : proj_.Parameters()) ps.push_back(p);
+    return ps;
+}
+
+void
+CausalSelfAttention::set_nthreads(int n)
+{
+    qkv_.set_nthreads(n);
+    proj_.set_nthreads(n);
+}
+
+}  // namespace secemb::llm

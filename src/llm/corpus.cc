@@ -1,0 +1,71 @@
+#include "llm/corpus.h"
+
+#include <cmath>
+
+namespace secemb::llm {
+
+namespace {
+
+uint64_t
+Mix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+}  // namespace
+
+SyntheticCorpus::SyntheticCorpus(int64_t vocab_size, uint64_t seed,
+                                 int branching, double noise)
+    : vocab_size_(vocab_size),
+      branching_(branching),
+      noise_(noise),
+      rng_(seed),
+      salt_(Mix(seed ^ 0xabcdef1234567890ULL))
+{
+}
+
+int64_t
+SyntheticCorpus::Successor(int64_t token, int64_t which) const
+{
+    const uint64_t h = Mix(salt_ ^ (static_cast<uint64_t>(token) << 20) ^
+                           static_cast<uint64_t>(which));
+    return static_cast<int64_t>(h % static_cast<uint64_t>(vocab_size_));
+}
+
+int64_t
+SyntheticCorpus::ZipfToken()
+{
+    // Inverse-CDF approximation of a Zipf-like marginal.
+    const double u = rng_.NextDouble();
+    const double skewed = std::pow(u, 3.0);
+    const int64_t t = static_cast<int64_t>(
+        skewed * static_cast<double>(vocab_size_));
+    return std::min(t, vocab_size_ - 1);
+}
+
+std::vector<int64_t>
+SyntheticCorpus::Sample(int64_t batch, int64_t seq_len)
+{
+    std::vector<int64_t> out(static_cast<size_t>(batch * seq_len));
+    for (int64_t b = 0; b < batch; ++b) {
+        int64_t cur = ZipfToken();
+        for (int64_t t = 0; t < seq_len; ++t) {
+            out[static_cast<size_t>(b * seq_len + t)] = cur;
+            if (rng_.NextDouble() < noise_) {
+                cur = ZipfToken();
+            } else {
+                cur = Successor(
+                    cur, static_cast<int64_t>(rng_.NextBounded(
+                             static_cast<uint64_t>(branching_))));
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace secemb::llm

@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Synthetic language corpus standing in for OpenWebText.
+ *
+ * A sparse random Markov process over the vocabulary: each token has a
+ * small set of plausible successors (plus uniform noise), giving the
+ * stream real next-token structure with a known entropy floor. Both the
+ * table-based and the DHE-based GPT can learn it, which is what the
+ * Fig. 14 perplexity-parity experiment needs; token frequencies are
+ * Zipf-skewed like natural text.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace secemb::llm {
+
+/** Deterministic synthetic token stream with learnable structure. */
+class SyntheticCorpus
+{
+  public:
+    /**
+     * @param vocab_size token alphabet size
+     * @param seed corpus identity
+     * @param branching successors per token
+     * @param noise probability of an unconditioned (uniform) token
+     */
+    SyntheticCorpus(int64_t vocab_size, uint64_t seed, int branching = 8,
+                    double noise = 0.05);
+
+    /**
+     * Sample `batch` sequences of length seq_len, flattened sample-major
+     * (size batch * seq_len). Use seq_len = train_seq + 1 for TrainStep.
+     */
+    std::vector<int64_t> Sample(int64_t batch, int64_t seq_len);
+
+    int64_t vocab_size() const { return vocab_size_; }
+
+  private:
+    int64_t vocab_size_;
+    int branching_;
+    double noise_;
+    Rng rng_;
+    uint64_t salt_;
+
+    int64_t Successor(int64_t token, int64_t which) const;
+    int64_t ZipfToken();
+};
+
+}  // namespace secemb::llm

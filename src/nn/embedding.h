@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Trainable embedding table (the storage-based representation).
+ *
+ * This is the non-secure baseline of the paper: Forward gathers rows by
+ * index (data-dependent access — exactly the leak demonstrated in Fig. 3),
+ * Backward scatter-adds gradients. Secure inference wrappers live in
+ * src/core; this class is the *training* representation and the source of
+ * table weights for linear scan / ORAM deployments.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace secemb::nn {
+
+/** Lookup-table embedding with scatter-add gradient. */
+class EmbeddingTable
+{
+  public:
+    /**
+     * @param num_rows table entries (vocabulary / feature cardinality)
+     * @param dim embedding dimension
+     * @param rng init source; rows ~ N(0, 1/sqrt(dim))
+     */
+    EmbeddingTable(int64_t num_rows, int64_t dim, Rng& rng);
+
+    /** Gather: out (n x dim) rows for the given indices. */
+    Tensor Forward(std::span<const int64_t> indices);
+
+    /** Scatter-add grad_out (n x dim) into the table gradient. */
+    void Backward(std::span<const int64_t> indices, const Tensor& grad_out);
+
+    Parameter& weight() { return weight_; }
+    const Tensor& table() const { return weight_.value; }
+    int64_t num_rows() const { return weight_.value.size(0); }
+    int64_t dim() const { return weight_.value.size(1); }
+    int64_t ParamBytes() const { return weight_.value.SizeBytes(); }
+
+  private:
+    Parameter weight_;  ///< (num_rows x dim)
+};
+
+}  // namespace secemb::nn

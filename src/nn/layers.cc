@@ -1,0 +1,340 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "oblivious/ct_ops.h"
+#include "tensor/gemm.h"
+
+namespace secemb::nn {
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Linear::Linear(int64_t in, int64_t out, Rng& rng, int nthreads)
+    : w_(Tensor()), b_(Tensor::Zeros({out})), nthreads_(nthreads)
+{
+    const float bound = std::sqrt(6.0f / static_cast<float>(in));
+    w_ = Parameter(Tensor::Uniform({in, out}, rng, -bound, bound));
+}
+
+Tensor
+Linear::Forward(const Tensor& x)
+{
+    assert(x.dim() == 2 && x.size(1) == in_features());
+    cached_x_ = x;
+    Tensor y({x.size(0), out_features()});
+    AffineForward(x, w_.value, b_.value, y, nthreads_);
+    return y;
+}
+
+Tensor
+Linear::Backward(const Tensor& grad_out)
+{
+    assert(grad_out.size(0) == cached_x_.size(0));
+    assert(grad_out.size(1) == out_features());
+
+    // dW += x^T g ; accumulate into existing grad.
+    Tensor dw({in_features(), out_features()});
+    GemmAT(cached_x_, grad_out, dw, nthreads_);
+    w_.grad.AddInPlace(dw);
+
+    // db += column sums of g.
+    const int64_t m = grad_out.size(0), n = grad_out.size(1);
+    for (int64_t i = 0; i < m; ++i) {
+        const float* g = grad_out.data() + i * n;
+        float* db = b_.grad.data();
+        for (int64_t j = 0; j < n; ++j) db[j] += g[j];
+    }
+
+    // dx = g W^T.
+    Tensor dx({m, in_features()});
+    GemmBT(grad_out, w_.value, dx, nthreads_);
+    return dx;
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+Tensor
+ReLU::Forward(const Tensor& x)
+{
+    Tensor y = x;
+    cached_mask_ = Tensor::Zeros(x.shape());
+    float* yp = y.data();
+    float* mp = cached_mask_.data();
+    for (int64_t i = 0; i < y.numel(); ++i) {
+        const uint64_t positive =
+            oblivious::BoolToMask(yp[i] > 0.0f ? 1 : 0);
+        yp[i] = oblivious::SelectF32(positive, yp[i], 0.0f);
+        mp[i] = oblivious::SelectF32(positive, 1.0f, 0.0f);
+    }
+    return y;
+}
+
+Tensor
+ReLU::Backward(const Tensor& grad_out)
+{
+    Tensor dx = grad_out;
+    dx.MulInPlace(cached_mask_);
+    return dx;
+}
+
+void
+ObliviousReLUInPlace(Tensor& x)
+{
+    float* p = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        const uint64_t positive = oblivious::BoolToMask(p[i] > 0.0f ? 1 : 0);
+        p[i] = oblivious::SelectF32(positive, p[i], 0.0f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sigmoid / Tanh / Gelu
+// ---------------------------------------------------------------------------
+
+Tensor
+Sigmoid::Forward(const Tensor& x)
+{
+    Tensor y = x;
+    float* p = y.data();
+    for (int64_t i = 0; i < y.numel(); ++i) {
+        p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+    }
+    cached_y_ = y;
+    return y;
+}
+
+Tensor
+Sigmoid::Backward(const Tensor& grad_out)
+{
+    Tensor dx = grad_out;
+    float* d = dx.data();
+    const float* y = cached_y_.data();
+    for (int64_t i = 0; i < dx.numel(); ++i) {
+        d[i] *= y[i] * (1.0f - y[i]);
+    }
+    return dx;
+}
+
+Tensor
+Tanh::Forward(const Tensor& x)
+{
+    Tensor y = x;
+    for (int64_t i = 0; i < y.numel(); ++i) y.at(i) = std::tanh(y.at(i));
+    cached_y_ = y;
+    return y;
+}
+
+Tensor
+Tanh::Backward(const Tensor& grad_out)
+{
+    Tensor dx = grad_out;
+    float* d = dx.data();
+    const float* y = cached_y_.data();
+    for (int64_t i = 0; i < dx.numel(); ++i) d[i] *= 1.0f - y[i] * y[i];
+    return dx;
+}
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+float
+GeluScalar(float x)
+{
+    const float inner = kGeluC * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float
+GeluGradScalar(float x)
+{
+    const float x3 = x * x * x;
+    const float inner = kGeluC * (x + 0.044715f * x3);
+    const float t = std::tanh(inner);
+    const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+}
+
+}  // namespace
+
+Tensor
+Gelu::Forward(const Tensor& x)
+{
+    cached_x_ = x;
+    Tensor y = x;
+    float* p = y.data();
+    for (int64_t i = 0; i < y.numel(); ++i) p[i] = GeluScalar(p[i]);
+    return y;
+}
+
+Tensor
+Gelu::Backward(const Tensor& grad_out)
+{
+    Tensor dx = grad_out;
+    float* d = dx.data();
+    const float* x = cached_x_.data();
+    for (int64_t i = 0; i < dx.numel(); ++i) d[i] *= GeluGradScalar(x[i]);
+    return dx;
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+LayerNorm::LayerNorm(int64_t dim, float eps)
+    : gamma_(Tensor::Ones({dim})), beta_(Tensor::Zeros({dim})), eps_(eps)
+{
+}
+
+Tensor
+LayerNorm::Forward(const Tensor& x)
+{
+    assert(x.dim() == 2);
+    const int64_t rows = x.size(0), d = x.size(1);
+    assert(d == gamma_.value.numel());
+
+    Tensor y({rows, d});
+    cached_xhat_ = Tensor({rows, d});
+    cached_inv_std_ = Tensor({rows});
+
+    for (int64_t i = 0; i < rows; ++i) {
+        const float* xi = x.data() + i * d;
+        double mean = 0.0;
+        for (int64_t j = 0; j < d; ++j) mean += xi[j];
+        mean /= d;
+        double var = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+            const double c = xi[j] - mean;
+            var += c * c;
+        }
+        var /= d;
+        const float inv_std =
+            1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        cached_inv_std_.at(i) = inv_std;
+        float* xh = cached_xhat_.data() + i * d;
+        float* yi = y.data() + i * d;
+        const float* g = gamma_.value.data();
+        const float* b = beta_.value.data();
+        for (int64_t j = 0; j < d; ++j) {
+            xh[j] = (xi[j] - static_cast<float>(mean)) * inv_std;
+            yi[j] = xh[j] * g[j] + b[j];
+        }
+    }
+    return y;
+}
+
+Tensor
+LayerNorm::Backward(const Tensor& grad_out)
+{
+    const int64_t rows = grad_out.size(0), d = grad_out.size(1);
+    Tensor dx({rows, d});
+    const float* g = gamma_.value.data();
+    for (int64_t i = 0; i < rows; ++i) {
+        const float* go = grad_out.data() + i * d;
+        const float* xh = cached_xhat_.data() + i * d;
+        const float inv_std = cached_inv_std_.at(i);
+        float* dgi = gamma_.grad.data();
+        float* dbi = beta_.grad.data();
+
+        // dgamma/dbeta accumulation and intermediate sums.
+        double sum_gxh = 0.0, sum_g = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+            dgi[j] += go[j] * xh[j];
+            dbi[j] += go[j];
+            const double gg = static_cast<double>(go[j]) * g[j];
+            sum_gxh += gg * xh[j];
+            sum_g += gg;
+        }
+        float* dxi = dx.data() + i * d;
+        const float k1 = static_cast<float>(sum_g) / d;
+        const float k2 = static_cast<float>(sum_gxh) / d;
+        for (int64_t j = 0; j < d; ++j) {
+            dxi[j] = inv_std * (go[j] * g[j] - k1 - xh[j] * k2);
+        }
+    }
+    return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------------
+
+Tensor
+Sequential::Forward(const Tensor& x)
+{
+    Tensor h = x;
+    for (auto& m : modules_) h = m->Forward(h);
+    return h;
+}
+
+Tensor
+Sequential::Backward(const Tensor& grad_out)
+{
+    Tensor g = grad_out;
+    for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+        g = (*it)->Backward(g);
+    }
+    return g;
+}
+
+std::vector<Parameter*>
+Sequential::Parameters()
+{
+    std::vector<Parameter*> ps;
+    for (auto& m : modules_) {
+        for (Parameter* p : m->Parameters()) ps.push_back(p);
+    }
+    return ps;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+Tensor
+Softmax2D(const Tensor& logits)
+{
+    assert(logits.dim() == 2);
+    const int64_t rows = logits.size(0), d = logits.size(1);
+    Tensor y({rows, d});
+    for (int64_t i = 0; i < rows; ++i) {
+        const float* xi = logits.data() + i * d;
+        float* yi = y.data() + i * d;
+        float mx = xi[0];
+        for (int64_t j = 1; j < d; ++j) mx = std::max(mx, xi[j]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+            yi[j] = std::exp(xi[j] - mx);
+            sum += yi[j];
+        }
+        const float inv = 1.0f / static_cast<float>(sum);
+        for (int64_t j = 0; j < d; ++j) yi[j] *= inv;
+    }
+    return y;
+}
+
+std::unique_ptr<Sequential>
+MakeMlp(const std::vector<int64_t>& sizes, Rng& rng, bool final_sigmoid,
+        int nthreads)
+{
+    assert(sizes.size() >= 2);
+    auto mlp = std::make_unique<Sequential>();
+    for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+        mlp->Add(std::make_unique<Linear>(sizes[i], sizes[i + 1], rng,
+                                          nthreads));
+        const bool last = (i + 2 == sizes.size());
+        if (!last) {
+            mlp->Add(std::make_unique<ReLU>());
+        } else if (final_sigmoid) {
+            mlp->Add(std::make_unique<Sigmoid>());
+        }
+    }
+    return mlp;
+}
+
+}  // namespace secemb::nn

@@ -1,0 +1,159 @@
+#pragma once
+
+/**
+ * @file
+ * Standard layers: Linear, activations, LayerNorm, Sequential.
+ *
+ * Control flow in every layer depends only on tensor shapes, never on
+ * values — matching the paper's observation (Section V-B) that FC layers
+ * and elementwise math are naturally oblivious. ReLU additionally has an
+ * explicitly branchless forward (ObliviousReLU) mirroring the paper's
+ * AVX-512 proof-of-concept.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace secemb::nn {
+
+/** Fully-connected layer y = x W + b; x is (batch x in). */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in input features
+     * @param out output features
+     * @param rng weight init source (Kaiming-uniform-ish)
+     * @param nthreads GEMM threads for forward/backward
+     */
+    Linear(int64_t in, int64_t out, Rng& rng, int nthreads = 1);
+
+    Tensor Forward(const Tensor& x) override;
+    Tensor Backward(const Tensor& grad_out) override;
+    std::vector<Parameter*> Parameters() override { return {&w_, &b_}; }
+    std::string_view name() const override { return "Linear"; }
+
+    int64_t in_features() const { return w_.value.size(0); }
+    int64_t out_features() const { return w_.value.size(1); }
+    Parameter& weight() { return w_; }
+    Parameter& bias() { return b_; }
+    void set_nthreads(int n) { nthreads_ = n; }
+
+  private:
+    Parameter w_;  ///< (in x out)
+    Parameter b_;  ///< (out)
+    Tensor cached_x_;
+    int nthreads_;
+};
+
+/** Rectified linear unit with branchless (mask-blend) forward. */
+class ReLU : public Module
+{
+  public:
+    Tensor Forward(const Tensor& x) override;
+    Tensor Backward(const Tensor& grad_out) override;
+    std::string_view name() const override { return "ReLU"; }
+
+  private:
+    Tensor cached_mask_;
+};
+
+/** Logistic sigmoid. */
+class Sigmoid : public Module
+{
+  public:
+    Tensor Forward(const Tensor& x) override;
+    Tensor Backward(const Tensor& grad_out) override;
+    std::string_view name() const override { return "Sigmoid"; }
+
+  private:
+    Tensor cached_y_;
+};
+
+/** tanh activation. */
+class Tanh : public Module
+{
+  public:
+    Tensor Forward(const Tensor& x) override;
+    Tensor Backward(const Tensor& grad_out) override;
+    std::string_view name() const override { return "Tanh"; }
+
+  private:
+    Tensor cached_y_;
+};
+
+/** Gaussian error linear unit (tanh approximation, as in GPT-2). */
+class Gelu : public Module
+{
+  public:
+    Tensor Forward(const Tensor& x) override;
+    Tensor Backward(const Tensor& grad_out) override;
+    std::string_view name() const override { return "Gelu"; }
+
+  private:
+    Tensor cached_x_;
+};
+
+/** Layer normalisation over the last dimension with learned gain/bias. */
+class LayerNorm : public Module
+{
+  public:
+    explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+    Tensor Forward(const Tensor& x) override;
+    Tensor Backward(const Tensor& grad_out) override;
+    std::vector<Parameter*> Parameters() override
+    {
+        return {&gamma_, &beta_};
+    }
+    std::string_view name() const override { return "LayerNorm"; }
+
+  private:
+    Parameter gamma_;
+    Parameter beta_;
+    float eps_;
+    Tensor cached_xhat_;     ///< normalised input
+    Tensor cached_inv_std_;  ///< per-row 1/std
+};
+
+/** Ordered container of modules applied in sequence. */
+class Sequential : public Module
+{
+  public:
+    Sequential() = default;
+
+    void Add(std::unique_ptr<Module> m) { modules_.push_back(std::move(m)); }
+
+    Tensor Forward(const Tensor& x) override;
+    Tensor Backward(const Tensor& grad_out) override;
+    std::vector<Parameter*> Parameters() override;
+    std::string_view name() const override { return "Sequential"; }
+
+    size_t size() const { return modules_.size(); }
+    Module& at(size_t i) { return *modules_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Module>> modules_;
+};
+
+/**
+ * Branchless ReLU over a buffer, the software analogue of the paper's
+ * AVX-512 max(0, x): same instructions executed for every element.
+ */
+void ObliviousReLUInPlace(Tensor& x);
+
+/** Row-wise softmax of a 2-D tensor (forward only; CE loss fuses backward). */
+Tensor Softmax2D(const Tensor& logits);
+
+/**
+ * Build an MLP: sizes = {in, h1, ..., out}; ReLU between layers, optional
+ * sigmoid at the end (DLRM top MLP convention).
+ */
+std::unique_ptr<Sequential> MakeMlp(const std::vector<int64_t>& sizes,
+                                    Rng& rng, bool final_sigmoid = false,
+                                    int nthreads = 1);
+
+}  // namespace secemb::nn

@@ -1,0 +1,85 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace secemb::nn {
+
+float
+BceWithLogits(const Tensor& logits, const Tensor& targets, Tensor* grad)
+{
+    assert(logits.numel() == targets.numel());
+    const int64_t n = logits.numel();
+    assert(n > 0);
+    if (grad) *grad = Tensor::Zeros(logits.shape());
+
+    double loss = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const float z = logits.at(i);
+        const float t = targets.at(i);
+        // log(1 + e^{-|z|}) + max(z, 0) - z t  (stable form)
+        loss += std::log1p(std::exp(-std::abs(z))) + std::max(z, 0.0f) -
+                z * t;
+        if (grad) {
+            const float p = 1.0f / (1.0f + std::exp(-z));
+            grad->at(i) = (p - t) / static_cast<float>(n);
+        }
+    }
+    return static_cast<float>(loss / n);
+}
+
+float
+SoftmaxCrossEntropy(const Tensor& logits, std::span<const int64_t> targets,
+                    Tensor* grad)
+{
+    assert(logits.dim() == 2);
+    const int64_t n = logits.size(0), c = logits.size(1);
+    assert(static_cast<int64_t>(targets.size()) == n);
+    assert(n > 0);
+    if (grad) *grad = Tensor::Zeros(logits.shape());
+
+    double loss = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const float* zi = logits.data() + i * c;
+        const int64_t t = targets[static_cast<size_t>(i)];
+        assert(t >= 0 && t < c);
+        float mx = zi[0];
+        for (int64_t j = 1; j < c; ++j) mx = std::max(mx, zi[j]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < c; ++j) sum += std::exp(zi[j] - mx);
+        const double log_z = mx + std::log(sum);
+        loss += log_z - zi[t];
+        if (grad) {
+            float* gi = grad->data() + i * c;
+            for (int64_t j = 0; j < c; ++j) {
+                const double p = std::exp(zi[j] - log_z);
+                gi[j] = static_cast<float>(p / n);
+            }
+            gi[t] -= 1.0f / static_cast<float>(n);
+        }
+    }
+    return static_cast<float>(loss / n);
+}
+
+float
+BinaryAccuracy(const Tensor& logits, const Tensor& targets)
+{
+    assert(logits.numel() == targets.numel());
+    const int64_t n = logits.numel();
+    if (n == 0) return 0.0f;
+    int64_t correct = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const bool pred = logits.at(i) > 0.0f;  // p > 0.5 <=> logit > 0
+        const bool truth = targets.at(i) > 0.5f;
+        correct += (pred == truth) ? 1 : 0;
+    }
+    return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+float
+Perplexity(float mean_cross_entropy)
+{
+    return std::exp(mean_cross_entropy);
+}
+
+}  // namespace secemb::nn

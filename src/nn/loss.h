@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Losses: binary cross-entropy with logits (DLRM CTR) and softmax
+ * cross-entropy (LLM next-token prediction). Both return the mean loss and
+ * produce the gradient with respect to the logits.
+ */
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace secemb::nn {
+
+/**
+ * Mean binary cross-entropy on logits (numerically stable log-sum-exp
+ * form). logits and targets are both (n); targets in {0, 1}.
+ * If grad is non-null it receives dLoss/dlogits (n).
+ */
+float BceWithLogits(const Tensor& logits, const Tensor& targets,
+                    Tensor* grad);
+
+/**
+ * Mean softmax cross-entropy. logits (n x classes); targets length n with
+ * class ids. If grad is non-null it receives dLoss/dlogits (n x classes).
+ */
+float SoftmaxCrossEntropy(const Tensor& logits,
+                          std::span<const int64_t> targets, Tensor* grad);
+
+/** Binary classification accuracy at a 0.5 probability threshold. */
+float BinaryAccuracy(const Tensor& logits, const Tensor& targets);
+
+/** Perplexity = exp(mean cross-entropy). */
+float Perplexity(float mean_cross_entropy);
+
+}  // namespace secemb::nn

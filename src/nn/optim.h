@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * Optimisers: SGD with momentum and Adam.
+ *
+ * The paper trains DLRM variants with SGD and finetunes GPT-2 with Adam;
+ * both are provided so the accuracy-parity experiments (Table V, Fig. 14)
+ * use the same optimiser family as the original artifact.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace secemb::nn {
+
+/** Optimiser interface over a fixed parameter set. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Parameter*> params)
+        : params_(std::move(params))
+    {
+    }
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void Step() = 0;
+
+    void
+    ZeroGrad()
+    {
+        for (Parameter* p : params_) p->ZeroGrad();
+    }
+
+  protected:
+    std::vector<Parameter*> params_;
+};
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
+    void Step() override;
+
+    void set_lr(float lr) { lr_ = lr; }
+    float lr() const { return lr_; }
+
+  private:
+    float lr_;
+    float momentum_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f);
+    void Step() override;
+
+    void set_lr(float lr) { lr_ = lr; }
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+    std::vector<Tensor> m_, v_;
+};
+
+}  // namespace secemb::nn

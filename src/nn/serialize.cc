@@ -1,0 +1,148 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace secemb::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53454d42;  // "SEMB"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File
+OpenOrThrow(const std::string& path, const char* mode)
+{
+    File f(std::fopen(path.c_str(), mode));
+    if (!f) {
+        throw std::runtime_error("serialize: cannot open " + path);
+    }
+    return f;
+}
+
+void
+WriteU64(std::FILE* f, uint64_t v)
+{
+    if (std::fwrite(&v, sizeof(v), 1, f) != 1) {
+        throw std::runtime_error("serialize: short write");
+    }
+}
+
+uint64_t
+ReadU64(std::FILE* f)
+{
+    uint64_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, f) != 1) {
+        throw std::runtime_error("serialize: short read");
+    }
+    return v;
+}
+
+void
+WriteTensorBody(std::FILE* f, const Tensor& t)
+{
+    WriteU64(f, static_cast<uint64_t>(t.dim()));
+    for (int64_t d = 0; d < t.dim(); ++d) {
+        WriteU64(f, static_cast<uint64_t>(t.size(d)));
+    }
+    const size_t n = static_cast<size_t>(t.numel());
+    if (n > 0 && std::fwrite(t.data(), sizeof(float), n, f) != n) {
+        throw std::runtime_error("serialize: short payload write");
+    }
+}
+
+Tensor
+ReadTensorBody(std::FILE* f)
+{
+    const uint64_t ndims = ReadU64(f);
+    if (ndims > 8) throw std::runtime_error("serialize: corrupt header");
+    Shape shape;
+    for (uint64_t d = 0; d < ndims; ++d) {
+        shape.push_back(static_cast<int64_t>(ReadU64(f)));
+    }
+    Tensor t(shape);
+    const size_t n = static_cast<size_t>(t.numel());
+    if (n > 0 && std::fread(t.data(), sizeof(float), n, f) != n) {
+        throw std::runtime_error("serialize: short payload read");
+    }
+    return t;
+}
+
+void
+WriteHeader(std::FILE* f, uint64_t count)
+{
+    WriteU64(f, kMagic);
+    WriteU64(f, kVersion);
+    WriteU64(f, count);
+}
+
+uint64_t
+ReadHeader(std::FILE* f)
+{
+    if (ReadU64(f) != kMagic) {
+        throw std::runtime_error("serialize: bad magic");
+    }
+    if (ReadU64(f) != kVersion) {
+        throw std::runtime_error("serialize: unsupported version");
+    }
+    return ReadU64(f);
+}
+
+}  // namespace
+
+void
+SaveTensor(const Tensor& t, const std::string& path)
+{
+    File f = OpenOrThrow(path, "wb");
+    WriteHeader(f.get(), 1);
+    WriteTensorBody(f.get(), t);
+}
+
+Tensor
+LoadTensor(const std::string& path)
+{
+    File f = OpenOrThrow(path, "rb");
+    if (ReadHeader(f.get()) != 1) {
+        throw std::runtime_error("serialize: expected a single tensor");
+    }
+    return ReadTensorBody(f.get());
+}
+
+void
+SaveParameters(const std::vector<Parameter*>& params,
+               const std::string& path)
+{
+    File f = OpenOrThrow(path, "wb");
+    WriteHeader(f.get(), params.size());
+    for (const Parameter* p : params) {
+        WriteTensorBody(f.get(), p->value);
+    }
+}
+
+void
+LoadParameters(const std::vector<Parameter*>& params,
+               const std::string& path)
+{
+    File f = OpenOrThrow(path, "rb");
+    const uint64_t count = ReadHeader(f.get());
+    if (count != params.size()) {
+        throw std::runtime_error("serialize: parameter count mismatch");
+    }
+    for (Parameter* p : params) {
+        Tensor t = ReadTensorBody(f.get());
+        if (t.shape() != p->value.shape()) {
+            throw std::runtime_error("serialize: shape mismatch");
+        }
+        p->value = std::move(t);
+    }
+}
+
+}  // namespace secemb::nn

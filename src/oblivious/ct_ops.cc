@@ -1,0 +1,37 @@
+#include "oblivious/ct_ops.h"
+
+#include <cassert>
+
+namespace secemb::oblivious {
+
+void
+CtCopyRow(uint64_t mask, std::span<const float> src, std::span<float> dst)
+{
+    assert(src.size() == dst.size());
+    for (size_t i = 0; i < dst.size(); ++i) {
+        dst[i] = SelectF32(mask, src[i], dst[i]);
+    }
+}
+
+void
+CtSwapRows(uint64_t mask, std::span<float> a, std::span<float> b)
+{
+    assert(a.size() == b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const float ai = SelectF32(mask, b[i], a[i]);
+        const float bi = SelectF32(mask, a[i], b[i]);
+        a[i] = ai;
+        b[i] = bi;
+    }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+uint64_t
+SelectNoInline(uint64_t mask, uint64_t a, uint64_t b)
+{
+    return Select(mask, a, b);
+}
+
+}  // namespace secemb::oblivious

@@ -1,0 +1,114 @@
+#include "oblivious/scan.h"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+#include "oblivious/ct_ops.h"
+
+namespace secemb::oblivious {
+
+void
+LinearScanLookup(std::span<const float> table, int64_t rows, int64_t cols,
+                 int64_t index, std::span<float> out)
+{
+    assert(static_cast<int64_t>(table.size()) == rows * cols);
+    assert(static_cast<int64_t>(out.size()) == cols);
+    assert(index >= 0 && index < rows);
+    for (int64_t r = 0; r < rows; ++r) {
+        const uint64_t mask = EqMask(static_cast<uint64_t>(r),
+                                     static_cast<uint64_t>(index));
+        CtCopyRow(mask, table.subspan(static_cast<size_t>(r * cols),
+                                      static_cast<size_t>(cols)),
+                  out);
+    }
+}
+
+void
+LinearScanLookupAccumulate(std::span<const float> table, int64_t rows,
+                           int64_t cols, int64_t index, std::span<float> out)
+{
+    assert(static_cast<int64_t>(table.size()) == rows * cols);
+    assert(static_cast<int64_t>(out.size()) == cols);
+    assert(index >= 0 && index < rows);
+    for (int64_t r = 0; r < rows; ++r) {
+        const uint64_t mask = EqMask(static_cast<uint64_t>(r),
+                                     static_cast<uint64_t>(index));
+        const float* src = table.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+            out[static_cast<size_t>(c)] +=
+                SelectF32(mask, src[c], 0.0f);
+        }
+    }
+}
+
+int64_t
+ObliviousArgmax(std::span<const float> values)
+{
+    assert(!values.empty());
+    // Compare float bits with a total order trick: flip the sign bit for
+    // non-negatives and all bits for negatives, then compare unsigned.
+    auto key = [](float f) {
+        uint32_t u;
+        std::memcpy(&u, &f, sizeof(u));
+        const uint32_t sign = u >> 31;
+        return static_cast<uint64_t>(u ^ (sign ? 0xffffffffu : 0x80000000u));
+    };
+    uint64_t best_key = key(values[0]);
+    uint64_t best_idx = 0;
+    for (size_t i = 1; i < values.size(); ++i) {
+        const uint64_t k = key(values[i]);
+        const uint64_t greater = LtMask(best_key, k);
+        best_key = Select(greater, k, best_key);
+        best_idx = Select(greater, static_cast<uint64_t>(i), best_idx);
+    }
+    return static_cast<int64_t>(best_idx);
+}
+
+std::vector<int64_t>
+ObliviousTopK(std::span<const float> values, int64_t k)
+{
+    assert(k >= 0 && k <= static_cast<int64_t>(values.size()));
+    // Work on a masked copy: after each selection the winner is
+    // obliviously overwritten with -inf (every slot is rewritten).
+    std::vector<float> work(values.begin(), values.end());
+    std::vector<int64_t> out;
+    out.reserve(static_cast<size_t>(k));
+    const float neg_inf = -std::numeric_limits<float>::infinity();
+    for (int64_t round = 0; round < k; ++round) {
+        const int64_t best = ObliviousArgmax(work);
+        out.push_back(best);
+        for (size_t i = 0; i < work.size(); ++i) {
+            const uint64_t m = EqMask(static_cast<uint64_t>(i),
+                                      static_cast<uint64_t>(best));
+            work[i] = SelectF32(m, neg_inf, work[i]);
+        }
+    }
+    return out;
+}
+
+uint64_t
+ObliviousReadU64(std::span<const uint64_t> values, int64_t index)
+{
+    assert(index >= 0 && index < static_cast<int64_t>(values.size()));
+    uint64_t out = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        const uint64_t mask = EqMask(static_cast<uint64_t>(i),
+                                     static_cast<uint64_t>(index));
+        out = Select(mask, values[i], out);
+    }
+    return out;
+}
+
+void
+ObliviousWriteU64(std::span<uint64_t> values, int64_t index, uint64_t v)
+{
+    assert(index >= 0 && index < static_cast<int64_t>(values.size()));
+    for (size_t i = 0; i < values.size(); ++i) {
+        const uint64_t mask = EqMask(static_cast<uint64_t>(i),
+                                     static_cast<uint64_t>(index));
+        values[i] = Select(mask, v, values[i]);
+    }
+}
+
+}  // namespace secemb::oblivious

@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Oblivious scans: linear-scan table lookup, oblivious argmax, oblivious
+ * scalar lookup/update over small arrays.
+ *
+ * These are the building blocks of the paper's "Table: Linear Scan"
+ * technique and of the software ORAM controllers' stash and position-map
+ * accesses (which must themselves be oblivious, Section V-A1).
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace secemb::oblivious {
+
+/**
+ * Copy row `index` of a row-major table (rows x cols) into out by scanning
+ * every row and blending; the memory trace is independent of index.
+ *
+ * @param table flattened row-major table data (rows * cols floats)
+ * @param rows number of rows; index must be in [0, rows)
+ * @param cols row width; out.size() must equal cols
+ */
+void LinearScanLookup(std::span<const float> table, int64_t rows,
+                      int64_t cols, int64_t index, std::span<float> out);
+
+/**
+ * Accumulating variant: out += table[index]. Used for multi-hot sparse
+ * features (sum pooling) without a second pass.
+ */
+void LinearScanLookupAccumulate(std::span<const float> table, int64_t rows,
+                                int64_t cols, int64_t index,
+                                std::span<float> out);
+
+/**
+ * Index of the maximum value, computed with a constant-time scan
+ * (the paper's oblivious argmax for LLM greedy decoding, Section V-C).
+ * Ties resolve to the lowest index.
+ */
+int64_t ObliviousArgmax(std::span<const float> values);
+
+/**
+ * Indices of the k largest values, in descending value order, computed
+ * with constant-time scans only (k passes of oblivious argmax with
+ * oblivious masking). Supports the top-k sampling extension for secure
+ * LLM decoding beyond the paper's greedy argmax.
+ */
+std::vector<int64_t> ObliviousTopK(std::span<const float> values,
+                                   int64_t k);
+
+/** Oblivious read of values[index] scanning the whole array. */
+uint64_t ObliviousReadU64(std::span<const uint64_t> values, int64_t index);
+
+/**
+ * Oblivious write values[index] = v, rewriting every slot (each slot is
+ * blended with itself except the target).
+ */
+void ObliviousWriteU64(std::span<uint64_t> values, int64_t index,
+                       uint64_t v);
+
+}  // namespace secemb::oblivious

@@ -1,0 +1,57 @@
+#include "oblivious/vector_scan.h"
+
+#include <cassert>
+
+#include "oblivious/ct_ops.h"
+#include "oblivious/scan.h"
+
+namespace secemb::oblivious {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SECEMB_HAVE_VECTOR_EXT 1
+using VecI = int32_t __attribute__((vector_size(32)));
+// Memory-access view with element alignment only: tensor buffers are not
+// guaranteed 32-byte aligned.
+using VecIU = int32_t __attribute__((vector_size(32), aligned(4)));
+#endif
+
+}  // namespace
+
+void
+LinearScanLookupVec(std::span<const float> table, int64_t rows,
+                    int64_t cols, int64_t index, std::span<float> out)
+{
+    assert(static_cast<int64_t>(table.size()) == rows * cols);
+    assert(static_cast<int64_t>(out.size()) == cols);
+    assert(index >= 0 && index < rows);
+
+#if SECEMB_HAVE_VECTOR_EXT
+    if (VecScanEligible(cols)) {
+        // Accumulate the selected row via full-width bitwise blends: for
+        // each row r, lane mask is all-ones iff r == index.
+        const VecIU* src =
+            reinterpret_cast<const VecIU*>(table.data());
+        VecIU* dst = reinterpret_cast<VecIU*>(out.data());
+        const int64_t vecs_per_row = cols / kScanLanes;
+        for (int64_t v = 0; v < vecs_per_row; ++v) dst[v] ^= dst[v];
+        for (int64_t r = 0; r < rows; ++r) {
+            const int32_t m = static_cast<int32_t>(
+                EqMask(static_cast<uint64_t>(r),
+                       static_cast<uint64_t>(index)));
+            const VecI mask = {m, m, m, m, m, m, m, m};
+            const VecIU* row = src + r * vecs_per_row;
+            for (int64_t v = 0; v < vecs_per_row; ++v) {
+                const VecI rv = row[v];
+                const VecI dv = dst[v];
+                dst[v] = (rv & mask) | (dv & ~mask);
+            }
+        }
+        return;
+    }
+#endif
+    LinearScanLookup(table, rows, cols, index, out);
+}
+
+}  // namespace secemb::oblivious

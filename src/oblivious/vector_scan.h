@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Vectorised oblivious linear scan.
+ *
+ * The paper's linear scan uses AVX-512 masked blends (Section V-A2);
+ * this is the portable equivalent built on GCC/Clang vector extensions:
+ * eight lanes of bitwise select per step, no branches, and the compiler
+ * lowers it to the widest SIMD the target offers. Falls back to the
+ * scalar scan for row widths that are not a multiple of the lane count —
+ * the masked-tail case the paper handles with AVX masked loads.
+ */
+
+#include <cstdint>
+#include <span>
+
+namespace secemb::oblivious {
+
+/** Lane count of the vectorised path. */
+inline constexpr int64_t kScanLanes = 8;
+
+/**
+ * Vectorised LinearScanLookup: copies row `index` into out while touching
+ * every row, using SIMD bitwise blends. Semantically identical to
+ * LinearScanLookup for any cols (non-multiples of kScanLanes take the
+ * scalar path).
+ */
+void LinearScanLookupVec(std::span<const float> table, int64_t rows,
+                         int64_t cols, int64_t index,
+                         std::span<float> out);
+
+/** True if `cols` takes the SIMD fast path. */
+inline bool
+VecScanEligible(int64_t cols)
+{
+    return cols % kScanLanes == 0;
+}
+
+}  // namespace secemb::oblivious

@@ -1,0 +1,59 @@
+#include "oram/footprint.h"
+
+#include <algorithm>
+
+namespace secemb::oram {
+
+namespace {
+
+int64_t
+CeilLog2(int64_t n)
+{
+    int64_t l = 0;
+    while ((int64_t{1} << l) < n) ++l;
+    return l;
+}
+
+}  // namespace
+
+int64_t
+EstimateFootprintBytes(OramKind kind, int64_t num_blocks,
+                       int64_t block_words, const OramParams& params)
+{
+    // Mirrors the sizing arithmetic in TreeOram's constructor and
+    // MemoryFootprintBytes.
+    const int64_t levels =
+        CeilLog2(std::max<int64_t>(2, (num_blocks + 1) / 2));
+    const int64_t num_leaves = int64_t{1} << levels;
+    const int64_t num_buckets = 2 * num_leaves - 1;
+    const int64_t per_slot_meta = 8 + 4;
+    const int64_t slots = num_buckets * params.bucket_capacity;
+    const int64_t tree_bytes = slots * (block_words * 4 + per_slot_meta);
+    const int64_t stash_bytes =
+        params.stash_capacity * (block_words * 4 + per_slot_meta);
+    const int64_t version_bytes = num_buckets * 8;
+
+    int64_t posmap_bytes;
+    const bool recurse = params.enable_recursion &&
+                         num_blocks > params.recursion_threshold;
+    if (!recurse) {
+        posmap_bytes = num_blocks * 4;
+    } else {
+        const int64_t child_blocks =
+            (num_blocks + params.posmap_fanout - 1) / params.posmap_fanout;
+        posmap_bytes = EstimateFootprintBytes(kind, child_blocks,
+                                              params.posmap_fanout,
+                                              params);
+    }
+    return tree_bytes + stash_bytes + version_bytes + posmap_bytes;
+}
+
+int64_t
+EstimateFootprintBytes(OramKind kind, int64_t num_blocks,
+                       int64_t block_words)
+{
+    return EstimateFootprintBytes(kind, num_blocks, block_words,
+                                  OramParams::Defaults(kind));
+}
+
+}  // namespace secemb::oram

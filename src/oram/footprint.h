@@ -1,0 +1,31 @@
+#pragma once
+
+/**
+ * @file
+ * Closed-form ORAM footprint estimation.
+ *
+ * Mirrors TreeOram::MemoryFootprintBytes without allocating the tree, so
+ * Table VI / Table VIII can report full-scale (multi-GB) Criteo and Meta
+ * footprints on a small machine.
+ */
+
+#include <cstdint>
+
+#include "oram/params.h"
+
+namespace secemb::oram {
+
+/**
+ * Bytes a TreeOram(kind, num_blocks, block_words, params) would occupy,
+ * including recursive position maps. Matches MemoryFootprintBytes
+ * (asserted by tests).
+ */
+int64_t EstimateFootprintBytes(OramKind kind, int64_t num_blocks,
+                               int64_t block_words,
+                               const OramParams& params);
+
+/** Estimate with the per-kind default parameters. */
+int64_t EstimateFootprintBytes(OramKind kind, int64_t num_blocks,
+                               int64_t block_words);
+
+}  // namespace secemb::oram

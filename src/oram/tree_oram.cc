@@ -1,0 +1,891 @@
+#include "oram/tree_oram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "oblivious/ct_ops.h"
+
+namespace secemb::oram {
+
+using oblivious::BoolToMask;
+using oblivious::EqMask;
+
+namespace {
+
+/** Sentinel for "no level" in the Circuit ORAM eviction metadata. */
+constexpr int64_t kNoneLevel = -1;
+
+int64_t
+CeilLog2(int64_t n)
+{
+    int64_t l = 0;
+    while ((int64_t{1} << l) < n) ++l;
+    return l;
+}
+
+}  // namespace
+
+OramParams
+OramParams::Defaults(OramKind kind)
+{
+    OramParams p;
+    if (kind == OramKind::kPath) {
+        p.stash_capacity = 150;
+        p.recursion_threshold = int64_t{1} << 16;
+    } else {
+        p.stash_capacity = 10;
+        p.recursion_threshold = int64_t{1} << 12;
+    }
+    return p;
+}
+
+void
+OramParams::ApplyTeeModel(const tee::TeeCostModel& m)
+{
+    ocall_ns = m.ocall_ns;
+    inline_select = m.inline_select;
+    enable_recursion = m.enable_recursion;
+}
+
+// ---------------------------------------------------------------------------
+// PositionMap
+// ---------------------------------------------------------------------------
+
+PositionMap::PositionMap(OramKind kind, int64_t num_ids, uint32_t leaf_bound,
+                         Rng& rng, const OramParams& params)
+    : num_ids_(num_ids),
+      fanout_(params.posmap_fanout),
+      inline_select_(params.inline_select),
+      recorder_(params.recorder)
+{
+    assert(num_ids > 0 && leaf_bound > 0);
+    initial_leaves_.resize(static_cast<size_t>(num_ids));
+    for (auto& leaf : initial_leaves_) {
+        leaf = static_cast<uint32_t>(rng.NextBounded(leaf_bound));
+    }
+
+    const bool recurse =
+        params.enable_recursion && num_ids > params.recursion_threshold;
+    if (!recurse) {
+        flat_ = initial_leaves_;
+        static uint64_t next_base = 0x7000000000ULL;
+        trace_base_ = next_base;
+        next_base += static_cast<uint64_t>(num_ids) * 4 + 4096;
+    } else {
+        const int64_t child_blocks = (num_ids + fanout_ - 1) / fanout_;
+        child_ = std::make_unique<TreeOram>(kind, child_blocks, fanout_,
+                                            rng, params);
+        std::vector<uint32_t> packed(
+            static_cast<size_t>(child_blocks * fanout_), 0);
+        std::memcpy(packed.data(), initial_leaves_.data(),
+                    initial_leaves_.size() * sizeof(uint32_t));
+        child_->BulkLoad(packed);
+    }
+}
+
+PositionMap::~PositionMap() = default;
+PositionMap::PositionMap(PositionMap&&) noexcept = default;
+PositionMap& PositionMap::operator=(PositionMap&&) noexcept = default;
+
+uint32_t
+PositionMap::Update(int64_t id, uint32_t new_leaf)
+{
+    assert(id >= 0 && id < num_ids_);
+    if (child_) {
+        return child_->RmwWord(id / fanout_, id % fanout_, new_leaf);
+    }
+    // Flat map: full oblivious scan for both the read and the write.
+    if (recorder_) {
+        recorder_->Record(trace_base_,
+                          static_cast<uint32_t>(flat_.size() * 4), false);
+        recorder_->Record(trace_base_,
+                          static_cast<uint32_t>(flat_.size() * 4), true);
+    }
+    uint32_t old = 0;
+    if (inline_select_) {
+        for (size_t i = 0; i < flat_.size(); ++i) {
+            const uint64_t m = EqMask(static_cast<uint64_t>(i),
+                                      static_cast<uint64_t>(id));
+            old = static_cast<uint32_t>(
+                oblivious::Select(m, flat_[i], old));
+            flat_[i] = static_cast<uint32_t>(
+                oblivious::Select(m, new_leaf, flat_[i]));
+        }
+    } else {
+        // ZT-Original/Gramine: the cmov helper is an out-of-line call per
+        // element, the overhead the GramineOpt variant removes.
+        for (size_t i = 0; i < flat_.size(); ++i) {
+            const uint64_t m = EqMask(static_cast<uint64_t>(i),
+                                      static_cast<uint64_t>(id));
+            old = static_cast<uint32_t>(
+                oblivious::SelectNoInline(m, flat_[i], old));
+            flat_[i] = static_cast<uint32_t>(
+                oblivious::SelectNoInline(m, new_leaf, flat_[i]));
+        }
+    }
+    return old;
+}
+
+int64_t
+PositionMap::FootprintBytes() const
+{
+    if (child_) return child_->MemoryFootprintBytes();
+    return static_cast<int64_t>(flat_.size()) * 4;
+}
+
+int
+PositionMap::Depth() const
+{
+    if (!child_) return 0;
+    // The child ORAM's own position map may recurse further.
+    return 1;
+}
+
+// ---------------------------------------------------------------------------
+// TreeOram: construction
+// ---------------------------------------------------------------------------
+
+TreeOram::TreeOram(OramKind kind, int64_t num_blocks, int64_t block_words,
+                   Rng& rng, OramParams params)
+    : kind_(kind),
+      num_blocks_(num_blocks),
+      block_words_(block_words),
+      params_(params),
+      rng_(rng.Next()),
+      // Leaves >= num_blocks / 2: capacity ~4N slots with Z = 4, matching
+      // the footprint regime the paper reports (~3.3x the raw table) while
+      // keeping stash occupancy low (verified by tests).
+      levels_(CeilLog2(std::max<int64_t>(2, (num_blocks + 1) / 2))),
+      num_leaves_(int64_t{1} << levels_),
+      num_buckets_(2 * num_leaves_ - 1),
+      posmap_(kind, num_blocks, static_cast<uint32_t>(num_leaves_), rng,
+              params),
+      cipher_(rng.Next())
+{
+    assert(num_blocks > 0 && block_words > 0);
+    const int64_t slots = num_buckets_ * params_.bucket_capacity;
+    slot_id_.assign(static_cast<size_t>(slots), kDummyId);
+    slot_leaf_.assign(static_cast<size_t>(slots), 0);
+    slot_data_.assign(static_cast<size_t>(slots * block_words_), 0);
+
+    stash_id_.assign(static_cast<size_t>(params_.stash_capacity), kDummyId);
+    stash_leaf_.assign(static_cast<size_t>(params_.stash_capacity), 0);
+    stash_data_.assign(
+        static_cast<size_t>(params_.stash_capacity * block_words_), 0);
+    bucket_version_.assign(static_cast<size_t>(num_buckets_), 0);
+
+    static uint64_t next_base = 0x2000000000ULL;
+    tree_trace_base_ = next_base;
+    next_base += static_cast<uint64_t>(slots * block_words_) * 4 + (1 << 20);
+    stash_trace_base_ = next_base;
+    next_base +=
+        static_cast<uint64_t>(params_.stash_capacity * block_words_) * 4 +
+        (1 << 20);
+}
+
+// ---------------------------------------------------------------------------
+// TreeOram: small helpers
+// ---------------------------------------------------------------------------
+
+int64_t
+TreeOram::BucketOnPath(uint32_t leaf, int64_t level) const
+{
+    assert(level >= 0 && level <= levels_);
+    const int64_t node =
+        (num_leaves_ + static_cast<int64_t>(leaf)) >> (levels_ - level);
+    return node - 1;
+}
+
+int64_t
+TreeOram::CommonLevel(uint32_t a, uint32_t b) const
+{
+    const uint32_t x = a ^ b;
+    if (x == 0) return levels_;
+    const int64_t width = 64 - std::countl_zero(static_cast<uint64_t>(x));
+    return levels_ - width;
+}
+
+uint32_t
+TreeOram::RandomLeaf()
+{
+    return static_cast<uint32_t>(
+        rng_.NextBounded(static_cast<uint64_t>(num_leaves_)));
+}
+
+uint64_t
+TreeOram::Sel(uint64_t mask, uint64_t a, uint64_t b) const
+{
+    return params_.inline_select ? oblivious::Select(mask, a, b)
+                                 : oblivious::SelectNoInline(mask, a, b);
+}
+
+void
+TreeOram::MaskCopyWords(uint64_t mask, const uint32_t* src, uint32_t* dst,
+                        int64_t n) const
+{
+    if (params_.inline_select) {
+        for (int64_t i = 0; i < n; ++i) {
+            dst[i] = static_cast<uint32_t>(
+                oblivious::Select(mask, src[i], dst[i]));
+        }
+    } else {
+        for (int64_t i = 0; i < n; ++i) {
+            dst[i] = static_cast<uint32_t>(
+                oblivious::SelectNoInline(mask, src[i], dst[i]));
+        }
+    }
+}
+
+void
+TreeOram::RecordBucket(int64_t bucket, bool is_write)
+{
+    // In the ZT-Original deployment every bucket transfer crosses the
+    // enclave boundary.
+    PayOcall();
+    if (is_write) {
+        ++stats_.bucket_writes;
+    } else {
+        ++stats_.bucket_reads;
+    }
+    if (params_.recorder) {
+        const uint32_t bucket_bytes = static_cast<uint32_t>(
+            params_.bucket_capacity * block_words_ * 4);
+        params_.recorder->Record(
+            tree_trace_base_ + static_cast<uint64_t>(bucket) * bucket_bytes,
+            bucket_bytes, is_write);
+    }
+}
+
+void
+TreeOram::RecordStashScan(bool is_write)
+{
+    ++stats_.stash_scans;
+    if (params_.recorder) {
+        params_.recorder->Record(
+            stash_trace_base_,
+            static_cast<uint32_t>(params_.stash_capacity * block_words_ * 4),
+            is_write);
+    }
+}
+
+void
+TreeOram::DecryptBucket(int64_t b)
+{
+    if (!params_.encrypt_payloads) return;
+    const uint64_t version = bucket_version_[static_cast<size_t>(b)];
+    if (version == 0) return;  // still plaintext from initialisation
+    const int64_t bucket_words = params_.bucket_capacity * block_words_;
+    cipher_.Apply(b, version,
+                  {slot_data_.data() + b * bucket_words,
+                   static_cast<size_t>(bucket_words)});
+}
+
+void
+TreeOram::EncryptBucket(int64_t b)
+{
+    if (!params_.encrypt_payloads) return;
+    const uint64_t version = ++bucket_version_[static_cast<size_t>(b)];
+    const int64_t bucket_words = params_.bucket_capacity * block_words_;
+    cipher_.Apply(b, version,
+                  {slot_data_.data() + b * bucket_words,
+                   static_cast<size_t>(bucket_words)});
+}
+
+void
+TreeOram::PayOcall()
+{
+    if (params_.ocall_ns > 0.0) {
+        ++stats_.ocalls;
+        tee::Spin(params_.ocall_ns);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TreeOram: stash operations
+// ---------------------------------------------------------------------------
+
+void
+TreeOram::StashInsert(uint64_t id, uint32_t leaf, const uint32_t* data,
+                      bool record)
+{
+    if (record) RecordStashScan(/*is_write=*/true);
+    uint64_t inserted = 0;
+    for (size_t j = 0; j < stash_id_.size(); ++j) {
+        const uint64_t free = EqMask(stash_id_[j], kDummyId);
+        const uint64_t take = free & ~inserted;
+        stash_id_[j] = Sel(take, id, stash_id_[j]);
+        stash_leaf_[j] = static_cast<uint32_t>(
+            Sel(take, leaf, stash_leaf_[j]));
+        MaskCopyWords(take, data,
+                      stash_data_.data() +
+                          static_cast<int64_t>(j) * block_words_,
+                      block_words_);
+        inserted |= take;
+    }
+    if (inserted == 0) {
+        throw std::runtime_error("TreeOram: stash overflow");
+    }
+}
+
+void
+TreeOram::StashReadRemove(int64_t id, std::span<uint32_t> data_out,
+                          uint32_t* leaf_out, uint64_t* found_mask)
+{
+    RecordStashScan(/*is_write=*/true);
+    uint64_t found = 0;
+    uint32_t leaf = 0;
+    for (size_t j = 0; j < stash_id_.size(); ++j) {
+        const uint64_t match =
+            EqMask(stash_id_[j], static_cast<uint64_t>(id));
+        MaskCopyWords(match,
+                      stash_data_.data() +
+                          static_cast<int64_t>(j) * block_words_,
+                      data_out.data(), block_words_);
+        leaf = static_cast<uint32_t>(Sel(match, stash_leaf_[j], leaf));
+        stash_id_[j] = Sel(match, kDummyId, stash_id_[j]);
+        found |= match;
+    }
+    *leaf_out = leaf;
+    *found_mask = found;
+}
+
+// ---------------------------------------------------------------------------
+// TreeOram: Path ORAM phases
+// ---------------------------------------------------------------------------
+
+void
+TreeOram::PathReadPathToStash(uint32_t leaf)
+{
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = BucketOnPath(leaf, level);
+        RecordBucket(b, /*is_write=*/false);
+        DecryptBucket(b);
+        for (int64_t s = 0; s < params_.bucket_capacity; ++s) {
+            const int64_t slot = b * params_.bucket_capacity + s;
+            const uint64_t valid =
+                ~EqMask(slot_id_[static_cast<size_t>(slot)], kDummyId);
+            // Oblivious insert: a dummy slot inserts nothing but the scan
+            // happens regardless.
+            uint64_t inserted = ~valid;
+            const uint64_t id = slot_id_[static_cast<size_t>(slot)];
+            const uint32_t blk_leaf =
+                slot_leaf_[static_cast<size_t>(slot)];
+            const uint32_t* data = slot_data_.data() + slot * block_words_;
+            for (size_t j = 0; j < stash_id_.size(); ++j) {
+                const uint64_t free = EqMask(stash_id_[j], kDummyId);
+                const uint64_t take = free & ~inserted;
+                stash_id_[j] = Sel(take, id, stash_id_[j]);
+                stash_leaf_[j] = static_cast<uint32_t>(
+                    Sel(take, blk_leaf, stash_leaf_[j]));
+                MaskCopyWords(take, data,
+                              stash_data_.data() +
+                                  static_cast<int64_t>(j) * block_words_,
+                              block_words_);
+                inserted |= take;
+            }
+            if (inserted == 0) {
+                throw std::runtime_error("TreeOram: stash overflow");
+            }
+            slot_id_[static_cast<size_t>(slot)] = kDummyId;
+        }
+        RecordStashScan(/*is_write=*/true);
+    }
+}
+
+void
+TreeOram::PathWriteBack(uint32_t leaf)
+{
+    const uint64_t sentinel = static_cast<uint64_t>(stash_id_.size());
+    std::vector<uint64_t> placed(stash_id_.size(), 0);
+
+    for (int64_t level = levels_; level >= 0; --level) {
+        const int64_t b = BucketOnPath(leaf, level);
+        RecordBucket(b, /*is_write=*/true);
+        for (int64_t s = 0; s < params_.bucket_capacity; ++s) {
+            const int64_t slot = b * params_.bucket_capacity + s;
+            // Select the first stash block that may live at this level.
+            uint64_t chosen = sentinel;
+            for (size_t j = 0; j < stash_id_.size(); ++j) {
+                const uint64_t real = ~EqMask(stash_id_[j], kDummyId);
+                const uint64_t deep_enough = BoolToMask(
+                    CommonLevel(stash_leaf_[j], leaf) >= level ? 1 : 0);
+                const uint64_t not_yet = EqMask(chosen, sentinel);
+                const uint64_t take =
+                    real & deep_enough & ~placed[j] & not_yet;
+                chosen = Sel(take, static_cast<uint64_t>(j), chosen);
+            }
+            const uint64_t have = ~EqMask(chosen, sentinel);
+            // Clear the slot, then blend the chosen block in.
+            slot_id_[static_cast<size_t>(slot)] = kDummyId;
+            slot_leaf_[static_cast<size_t>(slot)] = 0;
+            uint32_t* dst = slot_data_.data() + slot * block_words_;
+            for (int64_t w = 0; w < block_words_; ++w) dst[w] = 0;
+            for (size_t j = 0; j < stash_id_.size(); ++j) {
+                const uint64_t is_ch =
+                    EqMask(static_cast<uint64_t>(j), chosen) & have;
+                slot_id_[static_cast<size_t>(slot)] =
+                    Sel(is_ch, stash_id_[j],
+                        slot_id_[static_cast<size_t>(slot)]);
+                slot_leaf_[static_cast<size_t>(slot)] =
+                    static_cast<uint32_t>(
+                        Sel(is_ch, stash_leaf_[j],
+                            slot_leaf_[static_cast<size_t>(slot)]));
+                MaskCopyWords(is_ch,
+                              stash_data_.data() +
+                                  static_cast<int64_t>(j) * block_words_,
+                              dst, block_words_);
+                stash_id_[j] = Sel(is_ch, kDummyId, stash_id_[j]);
+                placed[j] |= is_ch;
+            }
+        }
+        EncryptBucket(b);
+        RecordStashScan(/*is_write=*/true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TreeOram: Circuit ORAM phases
+// ---------------------------------------------------------------------------
+
+void
+TreeOram::CircuitReadBlockFromPath(uint32_t leaf, int64_t id,
+                                   std::span<uint32_t> data_out,
+                                   uint64_t* found_mask)
+{
+    uint64_t found = 0;
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = BucketOnPath(leaf, level);
+        RecordBucket(b, /*is_write=*/false);
+        RecordBucket(b, /*is_write=*/true);  // removal writes back
+        DecryptBucket(b);
+        for (int64_t s = 0; s < params_.bucket_capacity; ++s) {
+            const int64_t slot = b * params_.bucket_capacity + s;
+            const uint64_t match = EqMask(
+                slot_id_[static_cast<size_t>(slot)],
+                static_cast<uint64_t>(id));
+            MaskCopyWords(match, slot_data_.data() + slot * block_words_,
+                          data_out.data(), block_words_);
+            slot_id_[static_cast<size_t>(slot)] =
+                Sel(match, kDummyId, slot_id_[static_cast<size_t>(slot)]);
+            found |= match;
+        }
+        EncryptBucket(b);
+    }
+    *found_mask = found;
+}
+
+uint32_t
+TreeOram::NextEvictionLeaf()
+{
+    // Reverse-lexicographic (bit-reversed counter) order, the standard
+    // Circuit ORAM eviction schedule; public and input-independent.
+    const uint64_t g = evict_counter_++;
+    uint64_t leaf = 0;
+    for (int64_t bit = 0; bit < levels_; ++bit) {
+        leaf = (leaf << 1) | ((g >> bit) & 1);
+    }
+    return static_cast<uint32_t>(leaf %
+                                 static_cast<uint64_t>(num_leaves_));
+}
+
+void
+TreeOram::CircuitEvictOnce(uint32_t path_leaf)
+{
+    // Deterministic trace preamble: an oblivious controller touches the
+    // stash and every bucket on the eviction path unconditionally (the
+    // functional branches below are the masked-operation equivalent).
+    // Recording them here keeps the observable trace shape independent of
+    // occupancy and secrets.
+    RecordStashScan(/*is_write=*/false);  // PrepareDeepest stash scan
+    RecordStashScan(/*is_write=*/false);  // PrepareTarget occupancy scan
+    RecordStashScan(/*is_write=*/true);   // EvictOnceFast stash pass
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = BucketOnPath(path_leaf, level);
+        RecordBucket(b, /*is_write=*/false);  // metadata scans
+        RecordBucket(b, /*is_write=*/false);
+        RecordBucket(b, /*is_write=*/true);   // move pass write-back
+        DecryptBucket(b);
+    }
+    const int64_t n_idx = levels_ + 2;  // index 0 = stash, i>=1 = level i-1
+    std::vector<int64_t> deepest(static_cast<size_t>(n_idx), kNoneLevel);
+    std::vector<int64_t> target(static_cast<size_t>(n_idx), kNoneLevel);
+
+    auto level_of_index = [](int64_t i) { return i - 1; };
+
+    // Deepest index a block with leaf lf may occupy on this path.
+    auto block_goal = [&](uint32_t lf) {
+        return CommonLevel(lf, path_leaf) + 1;
+    };
+
+    // --- PrepareDeepest ---
+    int64_t src = kNoneLevel;
+    int64_t goal = kNoneLevel;
+    {
+        int64_t stash_goal = kNoneLevel;
+        for (size_t j = 0; j < stash_id_.size(); ++j) {
+            const bool real = stash_id_[j] != kDummyId;
+            const int64_t g = block_goal(stash_leaf_[j]);
+            const uint64_t take =
+                BoolToMask((real && g > stash_goal) ? 1 : 0);
+            stash_goal = oblivious::SelectI64(take, g, stash_goal);
+        }
+        if (stash_goal != kNoneLevel) {
+            src = 0;
+            goal = stash_goal;
+        }
+    }
+    for (int64_t i = 1; i < n_idx; ++i) {
+        if (goal >= i) deepest[static_cast<size_t>(i)] = src;
+        const int64_t b = BucketOnPath(path_leaf, level_of_index(i));
+        int64_t l = kNoneLevel;
+        for (int64_t s = 0; s < params_.bucket_capacity; ++s) {
+            const int64_t slot = b * params_.bucket_capacity + s;
+            const bool real =
+                slot_id_[static_cast<size_t>(slot)] != kDummyId;
+            const int64_t g =
+                block_goal(slot_leaf_[static_cast<size_t>(slot)]);
+            const uint64_t take = BoolToMask((real && g > l) ? 1 : 0);
+            l = oblivious::SelectI64(take, g, l);
+        }
+        if (l > goal) {
+            goal = l;
+            src = i;
+        }
+    }
+
+    // --- PrepareTarget ---
+    int64_t dest = kNoneLevel;
+    src = kNoneLevel;
+    for (int64_t i = n_idx - 1; i >= 0; --i) {
+        if (i == src) {
+            target[static_cast<size_t>(i)] = dest;
+            dest = kNoneLevel;
+            src = kNoneLevel;
+        }
+        bool has_empty = false;
+        if (i == 0) {
+            for (uint64_t sid : stash_id_) has_empty |= (sid == kDummyId);
+        } else {
+            const int64_t b = BucketOnPath(path_leaf, level_of_index(i));
+            for (int64_t s = 0; s < params_.bucket_capacity; ++s) {
+                has_empty |=
+                    slot_id_[static_cast<size_t>(
+                        b * params_.bucket_capacity + s)] == kDummyId;
+            }
+        }
+        if (((dest == kNoneLevel && has_empty) ||
+             target[static_cast<size_t>(i)] != kNoneLevel) &&
+            deepest[static_cast<size_t>(i)] != kNoneLevel) {
+            src = deepest[static_cast<size_t>(i)];
+            dest = i;
+        }
+    }
+
+    // --- EvictOnceFast ---
+    uint64_t hold_id = kDummyId;
+    uint32_t hold_leaf = 0;
+    std::vector<uint32_t> hold_data(static_cast<size_t>(block_words_), 0);
+    std::vector<uint32_t> scratch(static_cast<size_t>(block_words_), 0);
+    dest = kNoneLevel;
+
+    for (int64_t i = 0; i < n_idx; ++i) {
+        uint64_t write_id = kDummyId;
+        uint32_t write_leaf = 0;
+        bool do_write = false;
+        if (hold_id != kDummyId && i == dest) {
+            write_id = hold_id;
+            write_leaf = hold_leaf;
+            std::memcpy(scratch.data(), hold_data.data(),
+                        scratch.size() * sizeof(uint32_t));
+            do_write = true;
+            hold_id = kDummyId;
+            dest = kNoneLevel;
+        }
+        if (target[static_cast<size_t>(i)] != kNoneLevel) {
+            // Read and remove the deepest-eligible block at this index.
+            if (i == 0) {
+                const uint64_t sentinel =
+                    static_cast<uint64_t>(stash_id_.size());
+                uint64_t chosen = sentinel;
+                int64_t best = kNoneLevel;
+                for (size_t j = 0; j < stash_id_.size(); ++j) {
+                    const bool real = stash_id_[j] != kDummyId;
+                    const int64_t g = block_goal(stash_leaf_[j]);
+                    const uint64_t take =
+                        BoolToMask((real && g > best) ? 1 : 0);
+                    best = oblivious::SelectI64(take, g, best);
+                    chosen =
+                        Sel(take, static_cast<uint64_t>(j), chosen);
+                }
+                const uint64_t have = ~EqMask(chosen, sentinel);
+                for (size_t j = 0; j < stash_id_.size(); ++j) {
+                    const uint64_t is_ch =
+                        EqMask(static_cast<uint64_t>(j), chosen) & have;
+                    hold_id = Sel(is_ch, stash_id_[j], hold_id);
+                    hold_leaf = static_cast<uint32_t>(
+                        Sel(is_ch, stash_leaf_[j], hold_leaf));
+                    MaskCopyWords(
+                        is_ch,
+                        stash_data_.data() +
+                            static_cast<int64_t>(j) * block_words_,
+                        hold_data.data(), block_words_);
+                    stash_id_[j] = Sel(is_ch, kDummyId, stash_id_[j]);
+                }
+            } else {
+                const int64_t b =
+                    BucketOnPath(path_leaf, level_of_index(i));
+                const uint64_t sentinel =
+                    static_cast<uint64_t>(params_.bucket_capacity);
+                uint64_t chosen = sentinel;
+                int64_t best = kNoneLevel;
+                for (int64_t s = 0; s < params_.bucket_capacity; ++s) {
+                    const int64_t slot = b * params_.bucket_capacity + s;
+                    const bool real =
+                        slot_id_[static_cast<size_t>(slot)] != kDummyId;
+                    const int64_t g = block_goal(
+                        slot_leaf_[static_cast<size_t>(slot)]);
+                    const uint64_t take =
+                        BoolToMask((real && g > best) ? 1 : 0);
+                    best = oblivious::SelectI64(take, g, best);
+                    chosen =
+                        Sel(take, static_cast<uint64_t>(s), chosen);
+                }
+                const uint64_t have = ~EqMask(chosen, sentinel);
+                for (int64_t s = 0; s < params_.bucket_capacity; ++s) {
+                    const int64_t slot = b * params_.bucket_capacity + s;
+                    const uint64_t is_ch =
+                        EqMask(static_cast<uint64_t>(s), chosen) & have;
+                    hold_id = Sel(is_ch,
+                                  slot_id_[static_cast<size_t>(slot)],
+                                  hold_id);
+                    hold_leaf = static_cast<uint32_t>(
+                        Sel(is_ch,
+                            slot_leaf_[static_cast<size_t>(slot)],
+                            hold_leaf));
+                    MaskCopyWords(is_ch,
+                                  slot_data_.data() + slot * block_words_,
+                                  hold_data.data(), block_words_);
+                    slot_id_[static_cast<size_t>(slot)] =
+                        Sel(is_ch, kDummyId,
+                            slot_id_[static_cast<size_t>(slot)]);
+                }
+            }
+            dest = target[static_cast<size_t>(i)];
+        }
+        if (do_write) {
+            if (i == 0) {
+                StashInsert(write_id, write_leaf, scratch.data(),
+                            /*record=*/false);
+            } else {
+                const int64_t b =
+                    BucketOnPath(path_leaf, level_of_index(i));
+                uint64_t inserted = 0;
+                for (int64_t s = 0; s < params_.bucket_capacity; ++s) {
+                    const int64_t slot = b * params_.bucket_capacity + s;
+                    const uint64_t free = EqMask(
+                        slot_id_[static_cast<size_t>(slot)], kDummyId);
+                    const uint64_t take = free & ~inserted;
+                    slot_id_[static_cast<size_t>(slot)] =
+                        Sel(take, write_id,
+                            slot_id_[static_cast<size_t>(slot)]);
+                    slot_leaf_[static_cast<size_t>(slot)] =
+                        static_cast<uint32_t>(Sel(
+                            take, write_leaf,
+                            slot_leaf_[static_cast<size_t>(slot)]));
+                    MaskCopyWords(take, scratch.data(),
+                                  slot_data_.data() + slot * block_words_,
+                                  block_words_);
+                    inserted |= take;
+                }
+                if (inserted == 0) {
+                    throw std::runtime_error(
+                        "TreeOram: circuit eviction bucket overflow");
+                }
+            }
+        }
+    }
+    for (int64_t level = 0; level <= levels_; ++level) {
+        EncryptBucket(BucketOnPath(path_leaf, level));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TreeOram: public operations
+// ---------------------------------------------------------------------------
+
+void
+TreeOram::Access(int64_t id, Op op, std::span<uint32_t> read_out,
+                 std::span<const uint32_t> write_in, int64_t word_idx,
+                 uint32_t word_val, uint32_t* old_word)
+{
+    assert(id >= 0 && id < num_blocks_);
+    ++stats_.accesses;
+
+    const uint32_t new_leaf = RandomLeaf();
+    const uint32_t old_leaf = posmap_.Update(id, new_leaf);
+
+    std::vector<uint32_t> data(static_cast<size_t>(block_words_), 0);
+    uint64_t found = 0;
+
+    if (kind_ == OramKind::kPath) {
+        PathReadPathToStash(old_leaf);
+        uint32_t junk_leaf = 0;
+        StashReadRemove(id, data, &junk_leaf, &found);
+    } else {
+        CircuitReadBlockFromPath(old_leaf, id, data, &found);
+        std::vector<uint32_t> from_stash(
+            static_cast<size_t>(block_words_), 0);
+        uint32_t junk_leaf = 0;
+        uint64_t found_stash = 0;
+        StashReadRemove(id, from_stash, &junk_leaf, &found_stash);
+        MaskCopyWords(found_stash, from_stash.data(), data.data(),
+                      block_words_);
+        found |= found_stash;
+    }
+    // A never-written block is absent everywhere; it reads as zeros.
+    (void)found;
+
+    switch (op) {
+      case Op::kRead:
+        std::memcpy(read_out.data(), data.data(),
+                    data.size() * sizeof(uint32_t));
+        break;
+      case Op::kWrite:
+        std::memcpy(data.data(), write_in.data(),
+                    data.size() * sizeof(uint32_t));
+        break;
+      case Op::kRmw: {
+        uint32_t old = 0;
+        for (int64_t w = 0; w < block_words_; ++w) {
+            const uint64_t m = EqMask(static_cast<uint64_t>(w),
+                                      static_cast<uint64_t>(word_idx));
+            old = static_cast<uint32_t>(
+                Sel(m, data[static_cast<size_t>(w)], old));
+            data[static_cast<size_t>(w)] = static_cast<uint32_t>(
+                Sel(m, word_val, data[static_cast<size_t>(w)]));
+        }
+        *old_word = old;
+        break;
+      }
+    }
+
+    StashInsert(static_cast<uint64_t>(id), new_leaf, data.data());
+
+    if (kind_ == OramKind::kPath) {
+        PathWriteBack(old_leaf);
+    } else {
+        CircuitEvictOnce(NextEvictionLeaf());
+        CircuitEvictOnce(NextEvictionLeaf());
+    }
+}
+
+void
+TreeOram::Read(int64_t id, std::span<uint32_t> out)
+{
+    assert(static_cast<int64_t>(out.size()) == block_words_);
+    Access(id, Op::kRead, out, {}, 0, 0, nullptr);
+}
+
+void
+TreeOram::Write(int64_t id, std::span<const uint32_t> in)
+{
+    assert(static_cast<int64_t>(in.size()) == block_words_);
+    Access(id, Op::kWrite, {}, in, 0, 0, nullptr);
+}
+
+uint32_t
+TreeOram::RmwWord(int64_t id, int64_t word_idx, uint32_t new_word)
+{
+    assert(word_idx >= 0 && word_idx < block_words_);
+    uint32_t old = 0;
+    Access(id, Op::kRmw, {}, {}, word_idx, new_word, &old);
+    return old;
+}
+
+void
+TreeOram::BulkLoad(std::span<const uint32_t> data)
+{
+    if (static_cast<int64_t>(data.size()) != num_blocks_ * block_words_) {
+        throw std::invalid_argument("BulkLoad: data size mismatch");
+    }
+    const auto& leaves = posmap_.initial_leaves();
+    for (int64_t id = 0; id < num_blocks_; ++id) {
+        const uint32_t leaf = leaves[static_cast<size_t>(id)];
+        bool placed = false;
+        for (int64_t level = levels_; level >= 0 && !placed; --level) {
+            const int64_t b = BucketOnPath(leaf, level);
+            for (int64_t s = 0; s < params_.bucket_capacity && !placed;
+                 ++s) {
+                const int64_t slot = b * params_.bucket_capacity + s;
+                if (slot_id_[static_cast<size_t>(slot)] == kDummyId) {
+                    slot_id_[static_cast<size_t>(slot)] =
+                        static_cast<uint64_t>(id);
+                    slot_leaf_[static_cast<size_t>(slot)] = leaf;
+                    std::memcpy(
+                        slot_data_.data() + slot * block_words_,
+                        data.data() + id * block_words_,
+                        static_cast<size_t>(block_words_) *
+                            sizeof(uint32_t));
+                    placed = true;
+                }
+            }
+        }
+        if (!placed) {
+            // Rare with 4N slot capacity: spill to the stash.
+            bool stashed = false;
+            for (size_t j = 0; j < stash_id_.size() && !stashed; ++j) {
+                if (stash_id_[j] == kDummyId) {
+                    stash_id_[j] = static_cast<uint64_t>(id);
+                    stash_leaf_[j] = leaf;
+                    std::memcpy(
+                        stash_data_.data() +
+                            static_cast<int64_t>(j) * block_words_,
+                        data.data() + id * block_words_,
+                        static_cast<size_t>(block_words_) *
+                            sizeof(uint32_t));
+                    stashed = true;
+                }
+            }
+            if (!stashed) {
+                throw std::runtime_error(
+                    "BulkLoad: tree and stash full (tree undersized)");
+            }
+        }
+    }
+}
+
+int64_t
+TreeOram::MemoryFootprintBytes() const
+{
+    const int64_t per_slot_meta = 8 + 4;  // id + leaf
+    const int64_t slots = num_buckets_ * params_.bucket_capacity;
+    const int64_t tree_bytes =
+        slots * (block_words_ * 4 + per_slot_meta);
+    const int64_t stash_bytes =
+        params_.stash_capacity * (block_words_ * 4 + per_slot_meta);
+    const int64_t version_bytes = num_buckets_ * 8;
+    return tree_bytes + stash_bytes + version_bytes +
+           posmap_.FootprintBytes();
+}
+
+int64_t
+TreeOram::StashOccupancy() const
+{
+    int64_t n = 0;
+    for (uint64_t id : stash_id_) n += (id != kDummyId) ? 1 : 0;
+    return n;
+}
+
+std::unique_ptr<TreeOram>
+MakeOram(OramKind kind, int64_t num_blocks, int64_t block_words, Rng& rng,
+         const OramParams* params)
+{
+    OramParams p = params ? *params : OramParams::Defaults(kind);
+    return std::make_unique<TreeOram>(kind, num_blocks, block_words, rng,
+                                      p);
+}
+
+}  // namespace secemb::oram

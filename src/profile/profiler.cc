@@ -1,0 +1,128 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util/bench_util.h"
+
+namespace secemb::profile {
+
+double
+MeasureGeneratorLatencyNs(core::EmbeddingGenerator& gen, int batch_size,
+                          Rng& rng, int reps)
+{
+    std::vector<int64_t> indices(static_cast<size_t>(batch_size));
+    for (auto& idx : indices) {
+        idx = static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(gen.num_rows())));
+    }
+    Tensor out({batch_size, gen.dim()});
+    return bench::TimeCallNs([&] { gen.Generate(indices, out); },
+                             /*warmup=*/1, reps);
+}
+
+ProfileResult
+ProfileThresholds(const ProfileConfig& config, Rng& rng)
+{
+    ProfileResult result;
+    for (int batch : config.batch_sizes) {
+        for (int threads : config.thread_counts) {
+            std::vector<double> scan_ns, dhe_ns;
+            for (int64_t size : config.table_sizes) {
+                core::GeneratorOptions opt;
+                opt.batch_size = batch;
+                opt.nthreads = threads;
+                auto scan = core::MakeGenerator(
+                    core::GenKind::kLinearScan, size, config.dim, rng,
+                    opt);
+                auto dhe = core::MakeGenerator(
+                    config.varied_dhe ? core::GenKind::kDheVaried
+                                      : core::GenKind::kDheUniform,
+                    size, config.dim, rng, opt);
+                const double s =
+                    MeasureGeneratorLatencyNs(*scan, batch, rng,
+                                              config.reps);
+                const double d =
+                    MeasureGeneratorLatencyNs(*dhe, batch, rng,
+                                              config.reps);
+                scan_ns.push_back(s);
+                dhe_ns.push_back(d);
+                result.points.push_back(
+                    {batch, threads, size, s, d});
+            }
+            // Crossover: first grid point where the scan is slower, with
+            // log-log interpolation against the previous point.
+            int64_t threshold = config.table_sizes.back();
+            for (size_t i = 0; i < config.table_sizes.size(); ++i) {
+                if (scan_ns[i] > dhe_ns[i]) {
+                    if (i == 0) {
+                        threshold = config.table_sizes[0];
+                    } else {
+                        const double x0 = std::log2(static_cast<double>(
+                            config.table_sizes[i - 1]));
+                        const double x1 = std::log2(static_cast<double>(
+                            config.table_sizes[i]));
+                        const double g0 =
+                            std::log2(scan_ns[i - 1] / dhe_ns[i - 1]);
+                        const double g1 =
+                            std::log2(scan_ns[i] / dhe_ns[i]);
+                        // Zero of the latency-gap line in log space.
+                        const double x =
+                            (g1 - g0) == 0.0
+                                ? x1
+                                : x0 - g0 * (x1 - x0) / (g1 - g0);
+                        threshold = static_cast<int64_t>(
+                            std::pow(2.0, std::clamp(x, x0, x1)));
+                    }
+                    break;
+                }
+            }
+            result.thresholds.Add({batch, threads, threshold});
+        }
+    }
+    return result;
+}
+
+core::ThresholdTable
+QuickThresholds(int batch_size, int nthreads, int64_t dim,
+                bool varied_dhe, Rng& rng)
+{
+    ProfileConfig cfg;
+    cfg.batch_sizes = {batch_size};
+    cfg.thread_counts = {nthreads};
+    cfg.table_sizes = {64, 256, 1024, 4096, 16384};
+    cfg.dim = dim;
+    cfg.reps = 2;
+    cfg.varied_dhe = varied_dhe;
+    return ProfileThresholds(cfg, rng).thresholds;
+}
+
+double
+ContentionModel::Latency(double single_ns, int copies,
+                         bool memory_bound) const
+{
+    const double timeshare =
+        std::max(1.0, static_cast<double>(copies) / cores);
+    const double rate =
+        memory_bound ? scan_interference : dhe_interference;
+    return single_ns * timeshare * (1.0 + rate * (copies - 1));
+}
+
+double
+ContentionModel::MixedLatency(double single_ns, int scan_copies,
+                              int dhe_copies, bool memory_bound) const
+{
+    const int copies = scan_copies + dhe_copies;
+    const double timeshare =
+        std::max(1.0, static_cast<double>(copies) / cores);
+    // Interference felt from each neighbour depends on the neighbour's
+    // technique: memory-bound neighbours hurt more.
+    const int neighbours_scan = scan_copies - (memory_bound ? 1 : 0);
+    const int neighbours_dhe = dhe_copies - (memory_bound ? 0 : 1);
+    const double interference =
+        scan_interference * std::max(0, neighbours_scan) +
+        dhe_interference * std::max(0, neighbours_dhe);
+    return single_ns * timeshare * (1.0 + interference);
+}
+
+}  // namespace secemb::profile

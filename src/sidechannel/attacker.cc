@@ -1,0 +1,103 @@
+#include "sidechannel/attacker.h"
+
+#include <cassert>
+
+namespace secemb::sidechannel {
+
+EvictionSetAttacker::EvictionSetAttacker(CacheModel& cache,
+                                         uint64_t table_base,
+                                         uint64_t row_bytes,
+                                         int monitored_rows)
+    : cache_(cache),
+      table_base_(table_base),
+      row_bytes_(row_bytes),
+      monitored_rows_(monitored_rows)
+{
+    // Attacker's own memory lives in a region aligned to the cache span so
+    // that set selection is straightforward, far above any victim region.
+    const uint64_t span =
+        static_cast<uint64_t>(cache.config().num_sets) *
+        cache.config().line_bytes;
+    attacker_base_ = ((1ULL << 40) / span) * span;
+}
+
+uint64_t
+EvictionSetAttacker::RowAddr(int r) const
+{
+    return table_base_ + static_cast<uint64_t>(r) * row_bytes_;
+}
+
+uint64_t
+EvictionSetAttacker::EvictionLine(int r, int j) const
+{
+    const auto& cfg = cache_.config();
+    const int target_set = cache_.SetIndex(RowAddr(r));
+    const uint64_t stride = static_cast<uint64_t>(cfg.num_sets) *
+                            cfg.line_bytes;
+    return attacker_base_ + static_cast<uint64_t>(target_set) *
+           cfg.line_bytes + static_cast<uint64_t>(j) * stride;
+}
+
+void
+EvictionSetAttacker::Prime()
+{
+    const int ways = cache_.config().ways;
+    for (int r = 0; r < monitored_rows_; ++r) {
+        for (int j = 0; j < ways; ++j) {
+            cache_.Access(EvictionLine(r, j));
+        }
+    }
+}
+
+AttackObservation
+EvictionSetAttacker::Probe()
+{
+    const auto& cfg = cache_.config();
+    AttackObservation obs;
+    obs.probe_latency_ns.resize(static_cast<size_t>(monitored_rows_), 0.0);
+    for (int r = 0; r < monitored_rows_; ++r) {
+        double latency = 0.0;
+        for (int j = 0; j < cfg.ways; ++j) {
+            const bool hit = cache_.Access(EvictionLine(r, j));
+            latency += hit ? cfg.hit_ns : cfg.miss_ns;
+        }
+        obs.probe_latency_ns[static_cast<size_t>(r)] = latency;
+    }
+    double best = -1.0;
+    for (int r = 0; r < monitored_rows_; ++r) {
+        if (obs.probe_latency_ns[static_cast<size_t>(r)] > best) {
+            best = obs.probe_latency_ns[static_cast<size_t>(r)];
+            obs.guessed_index = r;
+        }
+    }
+    return obs;
+}
+
+AttackObservation
+EvictionSetAttacker::Attack(const std::vector<MemoryAccess>& victim_trace,
+                            int repeats)
+{
+    assert(repeats > 0);
+    AttackObservation avg;
+    avg.probe_latency_ns.resize(static_cast<size_t>(monitored_rows_), 0.0);
+    for (int rep = 0; rep < repeats; ++rep) {
+        cache_.Flush();
+        Prime();
+        cache_.Replay(victim_trace);
+        const AttackObservation obs = Probe();
+        for (int r = 0; r < monitored_rows_; ++r) {
+            avg.probe_latency_ns[static_cast<size_t>(r)] +=
+                obs.probe_latency_ns[static_cast<size_t>(r)] / repeats;
+        }
+    }
+    double best = -1.0;
+    for (int r = 0; r < monitored_rows_; ++r) {
+        if (avg.probe_latency_ns[static_cast<size_t>(r)] > best) {
+            best = avg.probe_latency_ns[static_cast<size_t>(r)];
+            avg.guessed_index = r;
+        }
+    }
+    return avg;
+}
+
+}  // namespace secemb::sidechannel

@@ -1,0 +1,80 @@
+#include "sidechannel/cache_model.h"
+
+#include <cassert>
+
+namespace secemb::sidechannel {
+
+CacheModel::CacheModel(const CacheConfig& config)
+    : config_(config),
+      ways_(static_cast<size_t>(config.num_sets) * config.ways)
+{
+    assert(config.num_sets > 0 && config.ways > 0);
+    assert((config.line_bytes & (config.line_bytes - 1)) == 0);
+}
+
+int
+CacheModel::SetIndex(uint64_t addr) const
+{
+    return static_cast<int>((addr / config_.line_bytes) % config_.num_sets);
+}
+
+uint64_t
+CacheModel::LineAddr(uint64_t addr) const
+{
+    return addr / config_.line_bytes * config_.line_bytes;
+}
+
+bool
+CacheModel::Access(uint64_t addr)
+{
+    ++clock_;
+    const uint64_t line = LineAddr(addr);
+    const int set = SetIndex(addr);
+    Way* base = &ways_[static_cast<size_t>(set) * config_.ways];
+
+    int victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (int w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            base[w].lru = clock_;
+            return true;
+        }
+        if (!base[w].valid) {
+            // Prefer invalid ways for fill.
+            if (oldest != 0) {
+                victim = w;
+                oldest = 0;
+            }
+        } else if (base[w].lru < oldest) {
+            victim = w;
+            oldest = base[w].lru;
+        }
+    }
+    base[victim] = {line, clock_, true};
+    return false;
+}
+
+void
+CacheModel::AccessRange(uint64_t addr, uint32_t size)
+{
+    const uint64_t first = LineAddr(addr);
+    const uint64_t last = LineAddr(addr + (size == 0 ? 0 : size - 1));
+    for (uint64_t line = first; line <= last;
+         line += static_cast<uint64_t>(config_.line_bytes)) {
+        Access(line);
+    }
+}
+
+void
+CacheModel::Replay(const std::vector<MemoryAccess>& trace)
+{
+    for (const auto& a : trace) AccessRange(a.addr, a.size);
+}
+
+void
+CacheModel::Flush()
+{
+    for (auto& w : ways_) w.valid = false;
+}
+
+}  // namespace secemb::sidechannel

@@ -1,0 +1,90 @@
+#include "sidechannel/oblivious_check.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace secemb::sidechannel {
+
+ObliviousnessReport
+CompareTraces(const std::vector<MemoryAccess>& a,
+              const std::vector<MemoryAccess>& b)
+{
+    ObliviousnessReport r;
+    r.identical = (a == b);
+    r.same_shape = (a.size() == b.size());
+    if (r.same_shape) {
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i].size != b[i].size || a[i].is_write != b[i].is_write) {
+                r.same_shape = false;
+                r.first_divergence = i;
+                break;
+            }
+        }
+    }
+    if (!r.identical) {
+        const size_t n = std::min(a.size(), b.size());
+        for (size_t i = 0; i < n; ++i) {
+            if (!(a[i] == b[i])) {
+                r.first_divergence = i;
+                break;
+            }
+        }
+        std::ostringstream os;
+        os << "len(a)=" << a.size() << " len(b)=" << b.size()
+           << " first_divergence=" << r.first_divergence;
+        r.detail = os.str();
+    }
+    return r;
+}
+
+double
+ChiSquaredUniform(const std::vector<int64_t>& counts)
+{
+    assert(!counts.empty());
+    int64_t total = 0;
+    for (int64_t c : counts) total += c;
+    const double expected =
+        static_cast<double>(total) / static_cast<double>(counts.size());
+    if (expected <= 0.0) return 0.0;
+    double chi2 = 0.0;
+    for (int64_t c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    return chi2;
+}
+
+double
+EmpiricalMutualInformation(const std::vector<int64_t>& secrets,
+                           const std::vector<int64_t>& guesses,
+                           int64_t num_symbols)
+{
+    assert(secrets.size() == guesses.size());
+    assert(num_symbols > 0);
+    const size_t n = secrets.size();
+    if (n == 0) return 0.0;
+
+    const size_t k = static_cast<size_t>(num_symbols);
+    std::vector<double> joint(k * k, 0.0), ps(k, 0.0), pg(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t s = static_cast<size_t>(secrets[i]);
+        const size_t g = static_cast<size_t>(guesses[i]);
+        assert(s < k && g < k);
+        joint[s * k + g] += 1.0 / n;
+        ps[s] += 1.0 / n;
+        pg[g] += 1.0 / n;
+    }
+    double mi = 0.0;
+    for (size_t s = 0; s < k; ++s) {
+        for (size_t g = 0; g < k; ++g) {
+            const double pj = joint[s * k + g];
+            if (pj > 0.0 && ps[s] > 0.0 && pg[g] > 0.0) {
+                mi += pj * std::log2(pj / (ps[s] * pg[g]));
+            }
+        }
+    }
+    return mi;
+}
+
+}  // namespace secemb::sidechannel

@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Obliviousness verification over recorded traces.
+ *
+ * Deterministic techniques (linear scan, DHE) must produce *identical*
+ * traces for any two secret inputs. Randomised techniques (tree ORAM) must
+ * produce traces whose structure (lengths, which region is touched when)
+ * is secret-independent and whose path choices are uniform; the helpers
+ * here implement both checks.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sidechannel/trace.h"
+
+namespace secemb::sidechannel {
+
+/** Result of an obliviousness comparison. */
+struct ObliviousnessReport
+{
+    bool identical = false;       ///< traces byte-for-byte equal
+    bool same_shape = false;      ///< same length and same (size, rw) seq.
+    size_t first_divergence = 0;  ///< index of first differing access
+    std::string detail;
+};
+
+/** Compare two traces for exact equality and for shape equality. */
+ObliviousnessReport CompareTraces(const std::vector<MemoryAccess>& a,
+                                  const std::vector<MemoryAccess>& b);
+
+/**
+ * Chi-squared uniformity statistic for a histogram of observed counts
+ * against a uniform expectation. Used to test that ORAM leaf/path choices
+ * are indistinguishable across different secret index sequences.
+ * Returns the chi-squared value; degrees of freedom = bins - 1.
+ */
+double ChiSquaredUniform(const std::vector<int64_t>& counts);
+
+/**
+ * Mutual-information estimate (in bits) between secret index and attacker
+ * guess over paired observations; ~0 for a secure implementation,
+ * ~log2(#indices) for the non-secure table. Both vectors must have equal
+ * length; values must be < num_symbols.
+ */
+double EmpiricalMutualInformation(const std::vector<int64_t>& secrets,
+                                  const std::vector<int64_t>& guesses,
+                                  int64_t num_symbols);
+
+}  // namespace secemb::sidechannel

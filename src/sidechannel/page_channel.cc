@@ -1,0 +1,63 @@
+#include "sidechannel/page_channel.h"
+
+#include <algorithm>
+
+namespace secemb::sidechannel {
+
+std::vector<uint64_t>
+PageFaultObserver::ObservePages(
+    const std::vector<MemoryAccess>& trace) const
+{
+    std::vector<uint64_t> pages;
+    for (const auto& a : trace) {
+        const uint64_t first = a.addr / page_bytes_;
+        const uint64_t last =
+            (a.addr + (a.size == 0 ? 0 : a.size - 1)) / page_bytes_;
+        for (uint64_t p = first; p <= last; ++p) {
+            if (std::find(pages.begin(), pages.end(), p) == pages.end()) {
+                pages.push_back(p);
+            }
+        }
+    }
+    return pages;
+}
+
+PageFaultObserver::IndexRange
+PageFaultObserver::InferIndexRange(const std::vector<MemoryAccess>& trace,
+                                   uint64_t table_base, uint64_t row_bytes,
+                                   int64_t num_rows) const
+{
+    const uint64_t table_end = table_base + static_cast<uint64_t>(
+                                                num_rows) * row_bytes;
+    const uint64_t first_page = table_base / page_bytes_;
+    const uint64_t last_page = (table_end - 1) / page_bytes_;
+
+    // Collect the table pages the victim touched.
+    std::vector<uint64_t> touched;
+    for (uint64_t p : ObservePages(trace)) {
+        if (p >= first_page && p <= last_page) touched.push_back(p);
+    }
+    IndexRange range;
+    if (touched.empty()) return range;
+    // An oblivious victim touches (nearly) every table page: no single-
+    // page localisation is possible. Heuristic: localise only when the
+    // victim touched a small fraction of the table's pages.
+    const uint64_t total_pages = last_page - first_page + 1;
+    if (touched.size() * 4 > total_pages && total_pages > 4) {
+        return range;
+    }
+    // Narrowest hypothesis: the first touched table page.
+    const uint64_t page = touched.front();
+    const uint64_t page_start =
+        std::max(page * page_bytes_, table_base);
+    const uint64_t page_end =
+        std::min((page + 1) * page_bytes_, table_end) - 1;
+    range.first = static_cast<int64_t>((page_start - table_base) /
+                                       row_bytes);
+    range.last = static_cast<int64_t>((page_end - table_base) /
+                                      row_bytes);
+    range.last = std::min(range.last, num_rows - 1);
+    return range;
+}
+
+}  // namespace secemb::sidechannel

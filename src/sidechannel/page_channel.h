@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * Page-fault controlled-channel observer (paper Section III-A2).
+ *
+ * Beyond the cache channel, the paper notes a malicious OS can clear
+ * present bits and observe *page-granular* access patterns of an SGX
+ * enclave [Xu et al.]. This models that adversary: it sees the sequence
+ * of 4 KiB pages the victim touches. Against a non-secure embedding
+ * lookup it recovers the index at page granularity — coarser than the
+ * cache attack but requiring no shared cache — and the paper observes
+ * the two channels *compose* (page channel narrows the range, cache
+ * channel resolves within it).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sidechannel/trace.h"
+
+namespace secemb::sidechannel {
+
+/** Page-granular view of a victim trace, as a controlled-channel OS
+ * adversary would record it. */
+class PageFaultObserver
+{
+  public:
+    explicit PageFaultObserver(uint64_t page_bytes = 4096)
+        : page_bytes_(page_bytes)
+    {
+    }
+
+    /** Distinct pages touched by the trace, in first-touch order. */
+    std::vector<uint64_t> ObservePages(
+        const std::vector<MemoryAccess>& trace) const;
+
+    /**
+     * Candidate index range for a table lookup: given the victim table's
+     * base address and row size, map the observed pages back to the rows
+     * they cover. Returns {first_index, last_index} (inclusive) of the
+     * narrowest single-page hypothesis, or {-1, -1} if the trace touches
+     * no table page / too many pages to localise (an oblivious victim).
+     */
+    struct IndexRange
+    {
+        int64_t first = -1;
+        int64_t last = -1;
+
+        bool Localised() const { return first >= 0; }
+        bool Contains(int64_t idx) const
+        {
+            return idx >= first && idx <= last;
+        }
+        int64_t Width() const
+        {
+            return Localised() ? last - first + 1 : -1;
+        }
+    };
+
+    IndexRange InferIndexRange(const std::vector<MemoryAccess>& trace,
+                               uint64_t table_base, uint64_t row_bytes,
+                               int64_t num_rows) const;
+
+    uint64_t page_bytes() const { return page_bytes_; }
+
+  private:
+    uint64_t page_bytes_;
+};
+
+}  // namespace secemb::sidechannel

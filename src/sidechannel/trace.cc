@@ -1,0 +1,15 @@
+#include "sidechannel/trace.h"
+
+namespace secemb::sidechannel {
+
+uint64_t
+AddressSpace::Reserve(uint64_t bytes, uint64_t align)
+{
+    next_ = (next_ + align - 1) / align * align;
+    const uint64_t base = next_;
+    // Pad regions apart so distinct tables never share a cache line.
+    next_ += bytes + 4096;
+    return base;
+}
+
+}  // namespace secemb::sidechannel

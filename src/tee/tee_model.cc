@@ -1,0 +1,45 @@
+#include "tee/tee_model.h"
+
+#include <chrono>
+
+namespace secemb::tee {
+
+TeeCostModel
+TeeCostModel::ForVariant(ZtVariant v, double ocall_ns)
+{
+    switch (v) {
+      case ZtVariant::kOriginal:
+        return {ocall_ns, /*inline_select=*/false,
+                /*enable_recursion=*/false};
+      case ZtVariant::kGramine:
+        return {0.0, /*inline_select=*/false, /*enable_recursion=*/false};
+      case ZtVariant::kGramineOpt:
+        return {0.0, /*inline_select=*/true, /*enable_recursion=*/true};
+    }
+    return {};
+}
+
+void
+Spin(double ns)
+{
+    if (ns <= 0.0) return;
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::nanoseconds(static_cast<int64_t>(ns));
+    while (std::chrono::steady_clock::now() < deadline) {
+        // busy wait
+    }
+}
+
+const char*
+ZtVariantName(ZtVariant v)
+{
+    switch (v) {
+      case ZtVariant::kOriginal: return "ZT-Original";
+      case ZtVariant::kGramine: return "ZT-Gramine";
+      case ZtVariant::kGramineOpt: return "ZT-Gramine-Opt";
+    }
+    return "?";
+}
+
+}  // namespace secemb::tee

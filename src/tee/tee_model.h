@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * TEE execution-cost model.
+ *
+ * The paper's ZeroTrace ablation (Fig. 10) compares three deployments of
+ * the software ORAM controller on SGX:
+ *   - ZT-Original: ORAM tree outside the enclave; every path read/write
+ *     crosses the enclave boundary (ocall), and the oblivious-select helper
+ *     is a non-inlined assembly stub.
+ *   - ZT-Gramine: whole tree inside the (scalable SGX) EPC — no boundary
+ *     crossings — but the select helper is still non-inlined and posmap
+ *     recursion is disabled.
+ *   - ZT-Gramine-Opt: recursion enabled and the select helper inlined.
+ *
+ * We do not have SGX hardware; the enclave-boundary cost is modelled as a
+ * calibrated busy-wait per crossing (default 8 us, the commonly reported
+ * SGX ocall round-trip), while the inlining and recursion effects are
+ * *real* code-path differences, not modelled.
+ */
+
+#include <cstdint>
+
+namespace secemb::tee {
+
+/** The three ZeroTrace deployment variants of Fig. 10. */
+enum class ZtVariant
+{
+    kOriginal,    ///< ocalls per path + non-inlined select + no recursion
+    kGramine,     ///< in-EPC tree + non-inlined select + no recursion
+    kGramineOpt,  ///< in-EPC tree + inlined select + recursion
+};
+
+/** Cost knobs derived from a ZtVariant. */
+struct TeeCostModel
+{
+    double ocall_ns = 0.0;  ///< penalty per enclave boundary crossing
+    bool inline_select = true;
+    bool enable_recursion = true;
+
+    /** Model for a given deployment variant. */
+    static TeeCostModel ForVariant(ZtVariant v, double ocall_ns = 8000.0);
+};
+
+/** Busy-wait for approximately `ns` nanoseconds (no-op if ns <= 0). */
+void Spin(double ns);
+
+/** Human-readable variant name. */
+const char* ZtVariantName(ZtVariant v);
+
+}  // namespace secemb::tee

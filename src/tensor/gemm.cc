@@ -1,0 +1,132 @@
+#include "tensor/gemm.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "tensor/parallel.h"
+
+namespace secemb {
+
+namespace {
+
+void
+CheckMatMulShapes(const Tensor& a, const Tensor& b, const Tensor& c,
+                  int64_t m, int64_t k, int64_t n)
+{
+    if (a.dim() != 2 || b.dim() != 2 || c.dim() != 2) {
+        throw std::invalid_argument("Gemm: all operands must be 2-D");
+    }
+    if (a.size(0) != m || a.size(1) != k || c.size(0) != m ||
+        c.size(1) != n) {
+        throw std::invalid_argument("Gemm: shape mismatch");
+    }
+    (void)b;
+}
+
+}  // namespace
+
+void
+Gemm(const Tensor& a, const Tensor& b, Tensor& c, int nthreads)
+{
+    const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+    if (b.size(0) != k) throw std::invalid_argument("Gemm: inner mismatch");
+    CheckMatMulShapes(a, b, c, m, k, n);
+
+    const float* ap = a.data();
+    const float* bp = b.data();
+    float* cp = c.data();
+
+    ParallelFor(m, nthreads, [=](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+            float* crow = cp + i * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+            const float* arow = ap + i * k;
+            for (int64_t p = 0; p < k; ++p) {
+                const float aval = arow[p];
+                const float* brow = bp + p * n;
+                for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+            }
+        }
+    });
+}
+
+void
+GemmBT(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads)
+{
+    const int64_t m = a.size(0), k = a.size(1), n = b_t.size(0);
+    if (b_t.size(1) != k) {
+        throw std::invalid_argument("GemmBT: inner mismatch");
+    }
+    CheckMatMulShapes(a, b_t, c, m, k, n);
+
+    const float* ap = a.data();
+    const float* bp = b_t.data();
+    float* cp = c.data();
+
+    ParallelFor(m, nthreads, [=](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+            const float* arow = ap + i * k;
+            float* crow = cp + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+                const float* brow = bp + j * k;
+                float acc = 0.0f;
+                for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+                crow[j] = acc;
+            }
+        }
+    });
+}
+
+void
+GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads)
+{
+    const int64_t k = a_t.size(0), m = a_t.size(1), n = b.size(1);
+    if (b.size(0) != k) {
+        throw std::invalid_argument("GemmAT: inner mismatch");
+    }
+    if (c.size(0) != m || c.size(1) != n) {
+        throw std::invalid_argument("GemmAT: output shape mismatch");
+    }
+
+    const float* ap = a_t.data();
+    const float* bp = b.data();
+    float* cp = c.data();
+
+    ParallelFor(m, nthreads, [=](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+            float* crow = cp + i * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+            for (int64_t p = 0; p < k; ++p) {
+                const float aval = ap[p * m + i];
+                const float* brow = bp + p * n;
+                for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+            }
+        }
+    });
+}
+
+Tensor
+MatMul(const Tensor& a, const Tensor& b, int nthreads)
+{
+    Tensor c({a.size(0), b.size(1)});
+    Gemm(a, b, c, nthreads);
+    return c;
+}
+
+void
+AffineForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+              Tensor& y, int nthreads)
+{
+    Gemm(x, w, y, nthreads);
+    if (bias.empty()) return;
+    const int64_t m = y.size(0), n = y.size(1);
+    assert(bias.numel() == n);
+    const float* bp = bias.data();
+    float* yp = y.data();
+    for (int64_t i = 0; i < m; ++i) {
+        float* yrow = yp + i * n;
+        for (int64_t j = 0; j < n; ++j) yrow[j] += bp[j];
+    }
+}
+
+}  // namespace secemb

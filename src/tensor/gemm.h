@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * Blocked single-precision GEMM and matrix-vector helpers.
+ *
+ * This is the compute substrate under DHE's FC decoder, the DLRM MLPs, and
+ * the transformer. Everything is branch-free with respect to data values:
+ * the control flow depends only on shapes, which are public in the threat
+ * model (Section III of the paper).
+ */
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace secemb {
+
+/**
+ * C = A * B for row-major A (m x k), B (k x n), C (m x n).
+ *
+ * Uses an i-k-j loop order with register accumulation; optionally
+ * parallelised over rows of A with nthreads.
+ */
+void Gemm(const Tensor& a, const Tensor& b, Tensor& c, int nthreads = 1);
+
+/** C = A * B^T for A (m x k), B (n x k), C (m x n). */
+void GemmBT(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads = 1);
+
+/** C = A^T * B for A (k x m), B (k x n), C (m x n). */
+void GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads = 1);
+
+/** Returning convenience wrapper around Gemm. */
+Tensor MatMul(const Tensor& a, const Tensor& b, int nthreads = 1);
+
+/**
+ * y += x * W + bias broadcast, for x (m x k), w (k x n), bias (n).
+ * The canonical FC-layer forward; bias may be empty to skip.
+ */
+void AffineForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                   Tensor& y, int nthreads = 1);
+
+}  // namespace secemb

@@ -1,0 +1,32 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace secemb {
+
+void
+ParallelFor(int64_t n, int nthreads,
+            const std::function<void(int64_t, int64_t)>& fn)
+{
+    if (n <= 0) return;
+    const int64_t workers =
+        std::max<int64_t>(1, std::min<int64_t>(nthreads, n));
+    if (workers == 1) {
+        fn(0, n);
+        return;
+    }
+    const int64_t chunk = (n + workers - 1) / workers;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int64_t w = 0; w < workers; ++w) {
+        const int64_t begin = w * chunk;
+        const int64_t end = std::min(n, begin + chunk);
+        if (begin >= end) break;
+        threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    for (auto& t : threads) t.join();
+}
+
+}  // namespace secemb

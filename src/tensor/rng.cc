@@ -1,0 +1,96 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+
+namespace secemb {
+
+namespace {
+
+uint64_t
+SplitMix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    Seed(seed);
+}
+
+void
+Rng::Seed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+    has_cached_gaussian_ = false;
+}
+
+uint64_t
+Rng::Next()
+{
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::NextBounded(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        const uint64_t r = Next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double
+Rng::NextDouble()
+{
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::NextUniform(float lo, float hi)
+{
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+float
+Rng::NextGaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = static_cast<float>(r * std::sin(theta));
+    has_cached_gaussian_ = true;
+    return static_cast<float>(r * std::cos(theta));
+}
+
+}  // namespace secemb

@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the secemb library.
+ *
+ * All stochastic behaviour in the library (weight init, synthetic datasets,
+ * ORAM leaf assignment) flows through Rng so experiments are reproducible
+ * from a single seed.
+ */
+
+#include <cstdint>
+
+namespace secemb {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Small, fast, and statistically strong enough for simulation workloads.
+ * Not cryptographically secure; the ORAM security argument in this repo is
+ * about access-pattern structure, not about the RNG, and the paper's
+ * software baseline (ZeroTrace) similarly treats randomness quality as
+ * orthogonal.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t Next();
+
+    /** Uniform integer in [0, bound) with rejection sampling; bound > 0. */
+    uint64_t NextBounded(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double NextDouble();
+
+    /** Uniform float in [lo, hi). */
+    float NextUniform(float lo, float hi);
+
+    /** Standard normal via Box-Muller (caches the second deviate). */
+    float NextGaussian();
+
+    /** Re-seed in place, discarding cached Gaussian state. */
+    void Seed(uint64_t seed);
+
+  private:
+    uint64_t state_[4];
+    bool has_cached_gaussian_ = false;
+    float cached_gaussian_ = 0.0f;
+};
+
+}  // namespace secemb

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the benchmark plumbing: timers, table formatting, flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util/bench_util.h"
+
+namespace secemb::bench {
+namespace {
+
+double benchmark_dummy_ = 0.0;
+
+TEST(WallTimerTest, MeasuresElapsedTime)
+{
+    WallTimer t;
+    double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+    benchmark_dummy_ = sink;  // defeat optimisation via member store
+    EXPECT_GT(t.ElapsedNs(), 0.0);
+    EXPECT_NEAR(t.ElapsedMs(), t.ElapsedNs() * 1e-6, 1.0);
+}
+
+TEST(TimeCallTest, AveragesOverReps)
+{
+    int calls = 0;
+    const double ns = TimeCallNs([&] { ++calls; }, /*warmup=*/2,
+                                 /*reps=*/5);
+    EXPECT_EQ(calls, 7);
+    EXPECT_GE(ns, 0.0);
+}
+
+TEST(TablePrinterTest, Formatters)
+{
+    EXPECT_EQ(TablePrinter::Ms(1.5e6, 2), "1.50");
+    EXPECT_EQ(TablePrinter::Mb(1048576, 1), "1.0");
+    EXPECT_EQ(TablePrinter::Num(3.14159, 3), "3.142");
+    EXPECT_EQ(TablePrinter::Num(-2.5, 0), "-2");
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashing)
+{
+    TablePrinter t({"a", "long header"});
+    t.AddRow({"1", "2"});
+    t.AddRow({"wide cell content", "3"});
+    t.AddRow({"short"});  // ragged row tolerated
+    testing::internal::CaptureStdout();
+    t.Print();
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("long header"), std::string::npos);
+    EXPECT_NE(out.find("wide cell content"), std::string::npos);
+}
+
+TEST(ArgsTest, ParsesIntDoubleBool)
+{
+    const char* argv[] = {"prog", "--scale", "100", "--ratio", "2.5",
+                          "--flag"};
+    Args args(6, const_cast<char**>(argv));
+    EXPECT_EQ(args.GetInt("--scale", 1), 100);
+    EXPECT_EQ(args.GetInt("--missing", 7), 7);
+    EXPECT_DOUBLE_EQ(args.GetDouble("--ratio", 0.0), 2.5);
+    EXPECT_TRUE(args.GetBool("--flag"));
+    EXPECT_FALSE(args.GetBool("--other"));
+}
+
+TEST(ArgsTest, TrailingFlagWithoutValueUsesDefault)
+{
+    const char* argv[] = {"prog", "--scale"};
+    Args args(2, const_cast<char**>(argv));
+    EXPECT_EQ(args.GetInt("--scale", 42), 42);
+}
+
+}  // namespace
+}  // namespace secemb::bench

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the FeatureSet multi-feature embedding layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/feature_set.h"
+
+namespace secemb::core {
+namespace {
+
+const std::vector<int64_t> kSizes{16, 200, 5000};
+constexpr int64_t kDim = 8;
+
+TEST(FeatureSetTest, HomogeneousBuildsOnePerFeature)
+{
+    Rng rng(1);
+    FeatureSet set = FeatureSet::Homogeneous(GenKind::kLinearScan,
+                                             kSizes, kDim, rng);
+    EXPECT_EQ(set.size(), 3);
+    for (int64_t f = 0; f < 3; ++f) {
+        EXPECT_EQ(set.feature(f).num_rows(), kSizes[static_cast<size_t>(f)]);
+        EXPECT_EQ(set.feature(f).dim(), kDim);
+    }
+    EXPECT_TRUE(set.IsOblivious());
+}
+
+TEST(FeatureSetTest, GenerateShapesAndValues)
+{
+    Rng rng(2);
+    FeatureSet set = FeatureSet::Homogeneous(GenKind::kIndexLookup,
+                                             kSizes, kDim, rng);
+    const std::vector<std::vector<int64_t>> indices{{0, 1}, {5, 6},
+                                                    {7, 4999}};
+    const auto embs = set.Generate(indices);
+    ASSERT_EQ(embs.size(), 3u);
+    for (const auto& e : embs) {
+        EXPECT_EQ(e.shape(), (Shape{2, kDim}));
+    }
+    // Per-feature values match direct generation.
+    const Tensor direct = set.feature(2).GenerateBatch(indices[2]);
+    EXPECT_TRUE(embs[2].AllClose(direct));
+}
+
+TEST(FeatureSetTest, GeneratePooledShapes)
+{
+    Rng rng(3);
+    FeatureSet set = FeatureSet::Homogeneous(GenKind::kLinearScan,
+                                             kSizes, kDim, rng);
+    const std::vector<std::vector<int64_t>> indices{
+        {0, 1, 2}, {5}, {7, 8, 9, 10}};
+    const std::vector<std::vector<int64_t>> offsets{
+        {0, 2, 3}, {0, 1}, {0, 0, 4}};
+    const auto embs = set.GeneratePooled(indices, offsets);
+    EXPECT_EQ(embs[0].shape(), (Shape{2, kDim}));
+    EXPECT_EQ(embs[1].shape(), (Shape{1, kDim}));
+    EXPECT_EQ(embs[2].shape(), (Shape{2, kDim}));
+    // Empty first bag of feature 2 is all zeros.
+    for (int64_t j = 0; j < kDim; ++j) {
+        EXPECT_FLOAT_EQ(embs[2].at(0, j), 0.0f);
+    }
+}
+
+TEST(FeatureSetTest, HybridAllocatesByThreshold)
+{
+    ThresholdTable thresholds;
+    thresholds.Add({32, 1, 1000});
+    Rng rng(4);
+    FeatureSet set = FeatureSet::Hybrid(kSizes, kDim, /*varied=*/true,
+                                        thresholds, 32, 1, rng);
+    const auto census = set.TechniqueCensus();
+    int scans = 0, dhes = 0;
+    for (const auto& [name, count] : census) {
+        if (name == "Hybrid(LinearScan)") scans = count;
+        if (name == "Hybrid(DHE)") dhes = count;
+    }
+    EXPECT_EQ(scans, 2);  // 16 and 200 < 1000
+    EXPECT_EQ(dhes, 1);   // 5000 >= 1000
+    EXPECT_TRUE(set.IsOblivious());
+}
+
+TEST(FeatureSetTest, ReconfigureFlipsTechniques)
+{
+    ThresholdTable low, high;
+    low.Add({32, 1, 10});
+    high.Add({32, 1, 100000});
+    Rng rng(5);
+    FeatureSet set = FeatureSet::Hybrid(kSizes, kDim, true, low, 32, 1,
+                                        rng);
+    // With a tiny threshold everything runs on DHE.
+    for (const auto& [name, count] : set.TechniqueCensus()) {
+        EXPECT_EQ(name, "Hybrid(DHE)");
+        EXPECT_EQ(count, 3);
+    }
+    set.Reconfigure(high, 32, 1);
+    for (const auto& [name, count] : set.TechniqueCensus()) {
+        EXPECT_EQ(name, "Hybrid(LinearScan)");
+        EXPECT_EQ(count, 3);
+    }
+}
+
+TEST(FeatureSetTest, FootprintIsSumOfFeatures)
+{
+    Rng rng(6);
+    FeatureSet set = FeatureSet::Homogeneous(GenKind::kIndexLookup,
+                                             kSizes, kDim, rng);
+    int64_t expect = 0;
+    for (int64_t s : kSizes) expect += s * kDim * 4;
+    EXPECT_EQ(set.MemoryFootprintBytes(), expect);
+}
+
+TEST(FeatureSetTest, NonObliviousDetected)
+{
+    Rng rng(7);
+    FeatureSet set = FeatureSet::Homogeneous(GenKind::kLinearScan,
+                                             {16}, kDim, rng);
+    EXPECT_TRUE(set.IsOblivious());
+    set.Add(MakeGenerator(GenKind::kIndexLookup, 16, kDim, rng));
+    EXPECT_FALSE(set.IsOblivious());
+}
+
+TEST(FeatureSetTest, TakeGeneratorsTransfersOwnership)
+{
+    Rng rng(8);
+    FeatureSet set = FeatureSet::Homogeneous(GenKind::kLinearScan,
+                                             kSizes, kDim, rng);
+    auto gens = set.TakeGenerators();
+    EXPECT_EQ(gens.size(), 3u);
+    EXPECT_EQ(set.size(), 0);
+}
+
+}  // namespace
+}  // namespace secemb::core

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the constant-time primitives and oblivious scans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "oblivious/ct_ops.h"
+#include "oblivious/scan.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace secemb::oblivious {
+namespace {
+
+TEST(CtOpsTest, BoolToMask)
+{
+    EXPECT_EQ(BoolToMask(0), 0ULL);
+    EXPECT_EQ(BoolToMask(1), ~0ULL);
+}
+
+TEST(CtOpsTest, EqMaskExhaustiveSmall)
+{
+    for (uint64_t a = 0; a < 8; ++a) {
+        for (uint64_t b = 0; b < 8; ++b) {
+            EXPECT_EQ(EqMask(a, b), a == b ? ~0ULL : 0ULL);
+        }
+    }
+}
+
+TEST(CtOpsTest, EqMaskEdgeValues)
+{
+    EXPECT_EQ(EqMask(~0ULL, ~0ULL), ~0ULL);
+    EXPECT_EQ(EqMask(0, ~0ULL), 0ULL);
+    EXPECT_EQ(EqMask(1ULL << 63, 1ULL << 63), ~0ULL);
+}
+
+TEST(CtOpsTest, LtMaskRandomised)
+{
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t a = rng.Next(), b = rng.Next();
+        EXPECT_EQ(LtMask(a, b), a < b ? ~0ULL : 0ULL);
+    }
+    EXPECT_EQ(LtMask(3, 3), 0ULL);
+    EXPECT_EQ(LtMask(0, 1), ~0ULL);
+    EXPECT_EQ(LtMask(~0ULL, 0), 0ULL);
+}
+
+TEST(CtOpsTest, SelectVariants)
+{
+    EXPECT_EQ(Select(~0ULL, 7, 9), 7ULL);
+    EXPECT_EQ(Select(0, 7, 9), 9ULL);
+    EXPECT_EQ(SelectI64(~0ULL, -5, 11), -5);
+    EXPECT_EQ(SelectI64(0, -5, 11), 11);
+    EXPECT_FLOAT_EQ(SelectF32(~0ULL, 1.5f, -2.5f), 1.5f);
+    EXPECT_FLOAT_EQ(SelectF32(0, 1.5f, -2.5f), -2.5f);
+    EXPECT_EQ(SelectNoInline(~0ULL, 3, 4), 3ULL);
+    EXPECT_EQ(SelectNoInline(0, 3, 4), 4ULL);
+}
+
+TEST(CtOpsTest, CtCopyRowBlends)
+{
+    std::vector<float> src{1, 2, 3}, dst{9, 9, 9};
+    CtCopyRow(0, src, dst);
+    EXPECT_EQ(dst, (std::vector<float>{9, 9, 9}));
+    CtCopyRow(~0ULL, src, dst);
+    EXPECT_EQ(dst, src);
+}
+
+TEST(CtOpsTest, CtSwapRows)
+{
+    std::vector<float> a{1, 2}, b{3, 4};
+    CtSwapRows(0, a, b);
+    EXPECT_EQ(a, (std::vector<float>{1, 2}));
+    CtSwapRows(~0ULL, a, b);
+    EXPECT_EQ(a, (std::vector<float>{3, 4}));
+    EXPECT_EQ(b, (std::vector<float>{1, 2}));
+}
+
+TEST(CtOpsTest, CtSwapU64)
+{
+    uint64_t a = 5, b = 6;
+    CtSwapU64(0, a, b);
+    EXPECT_EQ(a, 5u);
+    CtSwapU64(~0ULL, a, b);
+    EXPECT_EQ(a, 6u);
+    EXPECT_EQ(b, 5u);
+}
+
+TEST(ScanTest, LinearScanLookupReturnsRequestedRow)
+{
+    Rng rng(6);
+    const int64_t rows = 37, cols = 5;
+    const Tensor table = Tensor::Randn({rows, cols}, rng);
+    std::vector<float> out(static_cast<size_t>(cols));
+    for (int64_t r = 0; r < rows; ++r) {
+        LinearScanLookup(table.flat(), rows, cols, r, out);
+        for (int64_t c = 0; c < cols; ++c) {
+            EXPECT_FLOAT_EQ(out[static_cast<size_t>(c)], table.at(r, c));
+        }
+    }
+}
+
+TEST(ScanTest, LinearScanAccumulateSums)
+{
+    Rng rng(7);
+    const Tensor table = Tensor::Randn({8, 3}, rng);
+    std::vector<float> out(3, 0.0f);
+    LinearScanLookupAccumulate(table.flat(), 8, 3, 2, out);
+    LinearScanLookupAccumulate(table.flat(), 8, 3, 5, out);
+    for (int64_t c = 0; c < 3; ++c) {
+        EXPECT_NEAR(out[static_cast<size_t>(c)],
+                    table.at(2, c) + table.at(5, c), 1e-5f);
+    }
+}
+
+TEST(ScanTest, ObliviousArgmaxMatchesStd)
+{
+    Rng rng(8);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int64_t n = 1 + static_cast<int64_t>(rng.NextBounded(64));
+        std::vector<float> v(static_cast<size_t>(n));
+        for (auto& x : v) x = rng.NextGaussian();
+        const auto expect =
+            std::distance(v.begin(), std::max_element(v.begin(), v.end()));
+        EXPECT_EQ(ObliviousArgmax(v), expect);
+    }
+}
+
+TEST(ScanTest, ObliviousArgmaxNegativeValues)
+{
+    std::vector<float> v{-5.0f, -1.0f, -3.0f};
+    EXPECT_EQ(ObliviousArgmax(v), 1);
+}
+
+TEST(ScanTest, ObliviousArgmaxFirstOnTies)
+{
+    std::vector<float> v{1.0f, 2.0f, 2.0f, 0.0f};
+    EXPECT_EQ(ObliviousArgmax(v), 1);
+}
+
+TEST(ScanTest, ObliviousArgmaxSingleElement)
+{
+    std::vector<float> v{-3.5f};
+    EXPECT_EQ(ObliviousArgmax(v), 0);
+}
+
+TEST(ScanTest, ObliviousReadWriteU64)
+{
+    std::vector<uint64_t> v{10, 20, 30, 40};
+    EXPECT_EQ(ObliviousReadU64(v, 2), 30u);
+    ObliviousWriteU64(v, 1, 99);
+    EXPECT_EQ(v, (std::vector<uint64_t>{10, 99, 30, 40}));
+    EXPECT_EQ(ObliviousReadU64(v, 1), 99u);
+}
+
+}  // namespace
+}  // namespace secemb::oblivious

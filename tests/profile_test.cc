@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the profiling module (threshold finding, contention model)
+ * and the TEE cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "profile/profiler.h"
+#include "tee/tee_model.h"
+
+namespace secemb::profile {
+namespace {
+
+TEST(ProfilerTest, MeasuresPositiveLatency)
+{
+    Rng rng(1);
+    auto gen = core::MakeGenerator(core::GenKind::kLinearScan, 256, 16,
+                                   rng);
+    const double ns = MeasureGeneratorLatencyNs(*gen, 8, rng, 2);
+    EXPECT_GT(ns, 0.0);
+}
+
+TEST(ProfilerTest, ThresholdsProducedForEveryConfiguration)
+{
+    ProfileConfig cfg;
+    cfg.batch_sizes = {8, 32};
+    cfg.thread_counts = {1};
+    cfg.table_sizes = {64, 512, 4096};
+    cfg.dim = 16;
+    cfg.reps = 1;
+    Rng rng(2);
+    const ProfileResult r = ProfileThresholds(cfg, rng);
+    EXPECT_EQ(r.thresholds.entries().size(), 2u);
+    EXPECT_EQ(r.points.size(), 2u * 3u);
+    for (const auto& e : r.thresholds.entries()) {
+        EXPECT_GE(e.table_size_threshold, 64);
+        EXPECT_LE(e.table_size_threshold, 4096);
+    }
+}
+
+TEST(ProfilerTest, ScanLatencyGrowsWithTableSize)
+{
+    // The structural fact behind Fig. 4: scan cost is O(n), DHE is O(1).
+    ProfileConfig cfg;
+    cfg.batch_sizes = {8};
+    cfg.thread_counts = {1};
+    cfg.table_sizes = {128, 8192};
+    cfg.dim = 16;
+    cfg.reps = 2;
+    Rng rng(3);
+    const ProfileResult r = ProfileThresholds(cfg, rng);
+    ASSERT_EQ(r.points.size(), 2u);
+    EXPECT_GT(r.points[1].scan_ns, 4.0 * r.points[0].scan_ns);
+    // DHE latency is size-independent (Uniform config).
+    EXPECT_LT(std::abs(r.points[1].dhe_ns - r.points[0].dhe_ns),
+              3.0 * std::min(r.points[0].dhe_ns, r.points[1].dhe_ns));
+}
+
+TEST(ContentionModelTest, MonotoneInCopies)
+{
+    ContentionModel m;
+    const double base = 1e6;
+    double prev = 0.0;
+    for (int copies = 1; copies <= 48; copies *= 2) {
+        const double l = m.Latency(base, copies, true);
+        EXPECT_GT(l, prev);
+        prev = l;
+    }
+}
+
+TEST(ContentionModelTest, MemoryBoundSuffersMore)
+{
+    ContentionModel m;
+    EXPECT_GT(m.Latency(1e6, 24, true), m.Latency(1e6, 24, false));
+    EXPECT_DOUBLE_EQ(m.Latency(1e6, 1, true), 1e6);
+}
+
+TEST(ContentionModelTest, OversubscriptionTimeshares)
+{
+    ContentionModel m;
+    m.cores = 4;
+    const double l8 = m.Latency(1e6, 8, false);
+    EXPECT_GT(l8, 2.0 * 1e6 * 0.99);  // at least the 2x timeshare factor
+}
+
+TEST(ContentionModelTest, MixedLatencyInterpolates)
+{
+    ContentionModel m;
+    const double all_scan = m.MixedLatency(1e6, 24, 0, true);
+    const double all_dhe_neighbours = m.MixedLatency(1e6, 1, 23, true);
+    EXPECT_GT(all_scan, all_dhe_neighbours);
+}
+
+}  // namespace
+}  // namespace secemb::profile
+
+namespace secemb::tee {
+namespace {
+
+TEST(TeeModelTest, VariantKnobs)
+{
+    const auto orig = TeeCostModel::ForVariant(ZtVariant::kOriginal);
+    EXPECT_GT(orig.ocall_ns, 0.0);
+    EXPECT_FALSE(orig.inline_select);
+    EXPECT_FALSE(orig.enable_recursion);
+
+    const auto gramine = TeeCostModel::ForVariant(ZtVariant::kGramine);
+    EXPECT_EQ(gramine.ocall_ns, 0.0);
+    EXPECT_FALSE(gramine.inline_select);
+
+    const auto opt = TeeCostModel::ForVariant(ZtVariant::kGramineOpt);
+    EXPECT_EQ(opt.ocall_ns, 0.0);
+    EXPECT_TRUE(opt.inline_select);
+    EXPECT_TRUE(opt.enable_recursion);
+}
+
+TEST(TeeModelTest, SpinWaitsApproximately)
+{
+    const auto start = std::chrono::steady_clock::now();
+    Spin(2e6);  // 2 ms
+    const double elapsed =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_GE(elapsed, 1.8e6);
+}
+
+TEST(TeeModelTest, SpinZeroReturnsImmediately)
+{
+    const auto start = std::chrono::steady_clock::now();
+    Spin(0.0);
+    Spin(-5.0);
+    const double elapsed =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsed, 1e6);
+}
+
+TEST(TeeModelTest, VariantNames)
+{
+    EXPECT_STREQ(ZtVariantName(ZtVariant::kOriginal), "ZT-Original");
+    EXPECT_STREQ(ZtVariantName(ZtVariant::kGramine), "ZT-Gramine");
+    EXPECT_STREQ(ZtVariantName(ZtVariant::kGramineOpt),
+                 "ZT-Gramine-Opt");
+}
+
+}  // namespace
+}  // namespace secemb::tee

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for model serialization and the oblivious top-k extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "dhe/dhe.h"
+#include "nn/layers.h"
+#include "nn/serialize.h"
+#include "oblivious/scan.h"
+
+namespace secemb {
+namespace {
+
+class SerializeTest : public ::testing::Test
+{
+  protected:
+    std::string
+    TmpPath(const char* name)
+    {
+        return (std::filesystem::temp_directory_path() /
+                (std::string("secemb_test_") + name))
+            .string();
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto& p : paths_) std::remove(p.c_str());
+    }
+
+    std::string
+    Track(std::string p)
+    {
+        paths_.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> paths_;
+};
+
+TEST_F(SerializeTest, TensorRoundTrip)
+{
+    Rng rng(1);
+    const Tensor t = Tensor::Randn({7, 5}, rng);
+    const std::string path = Track(TmpPath("tensor.bin"));
+    nn::SaveTensor(t, path);
+    const Tensor loaded = nn::LoadTensor(path);
+    EXPECT_EQ(loaded.shape(), t.shape());
+    EXPECT_TRUE(loaded.AllClose(t, 0.0f));
+}
+
+TEST_F(SerializeTest, EmptyAndScalarTensors)
+{
+    const std::string path = Track(TmpPath("small.bin"));
+    Tensor one({1});
+    one.at(0) = 42.0f;
+    nn::SaveTensor(one, path);
+    EXPECT_FLOAT_EQ(nn::LoadTensor(path).at(0), 42.0f);
+}
+
+TEST_F(SerializeTest, ParametersRoundTripThroughFreshModel)
+{
+    // Train-ish a model, save, load into a freshly-initialised copy, and
+    // check the copies agree exactly.
+    Rng rng_a(2);
+    auto model_a = nn::MakeMlp({4, 8, 2}, rng_a);
+    for (auto* p : model_a->Parameters()) {
+        p->value.AddScalarInPlace(0.5f);  // make weights distinctive
+    }
+    const std::string path = Track(TmpPath("params.bin"));
+    nn::SaveParameters(model_a->Parameters(), path);
+
+    Rng rng_b(999);  // different init
+    auto model_b = nn::MakeMlp({4, 8, 2}, rng_b);
+    nn::LoadParameters(model_b->Parameters(), path);
+
+    Rng in_rng(3);
+    const Tensor x = Tensor::Randn({3, 4}, in_rng);
+    EXPECT_TRUE(model_b->Forward(x).AllClose(model_a->Forward(x), 1e-6f));
+}
+
+TEST_F(SerializeTest, DheRoundTrip)
+{
+    dhe::DheConfig cfg;
+    cfg.k = 16;
+    cfg.fc_hidden = {8};
+    cfg.out_dim = 4;
+    Rng rng(4);
+    dhe::DheEmbedding a(cfg, rng);
+    const std::string path = Track(TmpPath("dhe.bin"));
+    nn::SaveParameters(a.Parameters(), path);
+
+    Rng rng2(4);  // same seed: identical hash coefficients
+    dhe::DheEmbedding b(cfg, rng2);
+    for (auto* p : b.Parameters()) p->value.Fill(0.0f);
+    nn::LoadParameters(b.Parameters(), path);
+
+    std::vector<int64_t> ids{1, 7, 13};
+    EXPECT_TRUE(b.Forward(ids).AllClose(a.Forward(ids), 1e-6f));
+}
+
+TEST_F(SerializeTest, MismatchesThrow)
+{
+    Rng rng(5);
+    auto model = nn::MakeMlp({2, 3, 1}, rng);
+    const std::string path = Track(TmpPath("mismatch.bin"));
+    nn::SaveParameters(model->Parameters(), path);
+
+    auto wrong_count = nn::MakeMlp({2, 3, 3, 1}, rng);
+    EXPECT_THROW(nn::LoadParameters(wrong_count->Parameters(), path),
+                 std::runtime_error);
+
+    auto wrong_shape = nn::MakeMlp({2, 4, 1}, rng);
+    EXPECT_THROW(nn::LoadParameters(wrong_shape->Parameters(), path),
+                 std::runtime_error);
+
+    EXPECT_THROW(nn::LoadTensor(TmpPath("does_not_exist.bin")),
+                 std::runtime_error);
+}
+
+TEST(ObliviousTopKTest, MatchesSortOrder)
+{
+    Rng rng(6);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int64_t n = 20;
+        std::vector<float> v(static_cast<size_t>(n));
+        for (auto& x : v) x = rng.NextGaussian();
+        const auto topk = oblivious::ObliviousTopK(v, 5);
+        // Reference: argsort descending.
+        std::vector<int64_t> ref(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) ref[static_cast<size_t>(i)] = i;
+        std::stable_sort(ref.begin(), ref.end(),
+                         [&](int64_t a, int64_t b) {
+                             return v[static_cast<size_t>(a)] >
+                                    v[static_cast<size_t>(b)];
+                         });
+        for (int64_t i = 0; i < 5; ++i) {
+            EXPECT_EQ(topk[static_cast<size_t>(i)],
+                      ref[static_cast<size_t>(i)])
+                << "trial " << trial << " rank " << i;
+        }
+    }
+}
+
+TEST(ObliviousTopKTest, EdgeCases)
+{
+    std::vector<float> v{3.0f, 1.0f, 2.0f};
+    EXPECT_TRUE(oblivious::ObliviousTopK(v, 0).empty());
+    const auto all = oblivious::ObliviousTopK(v, 3);
+    EXPECT_EQ(all, (std::vector<int64_t>{0, 2, 1}));
+}
+
+}  // namespace
+}  // namespace secemb

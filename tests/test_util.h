@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Shared test helpers: finite-difference gradient checking against the
+ * analytic backward passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace secemb::test {
+
+/**
+ * Check dLoss/dx for a scalar loss(x) against the analytic gradient, at up
+ * to `samples` randomly-chosen coordinates.
+ */
+inline void
+ExpectGradientsClose(const std::function<float(const Tensor&)>& loss,
+                     const Tensor& x, const Tensor& analytic_grad,
+                     float eps = 1e-2f, float tol = 2e-2f,
+                     int samples = 24, uint64_t seed = 7)
+{
+    ASSERT_EQ(x.numel(), analytic_grad.numel());
+    Rng rng(seed);
+    const int64_t n = x.numel();
+    for (int s = 0; s < samples && s < n; ++s) {
+        const int64_t i = static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(n)));
+        Tensor xp = x, xm = x;
+        xp.at(i) += eps;
+        xm.at(i) -= eps;
+        const float numeric = (loss(xp) - loss(xm)) / (2 * eps);
+        const float analytic = analytic_grad.at(i);
+        const float scale =
+            std::max({1.0f, std::abs(numeric), std::abs(analytic)});
+        EXPECT_NEAR(numeric, analytic, tol * scale)
+            << "coordinate " << i;
+    }
+}
+
+}  // namespace secemb::test

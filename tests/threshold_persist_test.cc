@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for threshold-database persistence (Algorithm 2's "profile once
+ * per system" product).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/hybrid.h"
+
+namespace secemb::core {
+namespace {
+
+class ThresholdPersistTest : public ::testing::Test
+{
+  protected:
+    std::string
+    Path(const char* name)
+    {
+        const std::string p =
+            (std::filesystem::temp_directory_path() /
+             (std::string("secemb_thr_") + name))
+                .string();
+        paths_.push_back(p);
+        return p;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto& p : paths_) std::remove(p.c_str());
+    }
+
+    std::vector<std::string> paths_;
+};
+
+TEST_F(ThresholdPersistTest, RoundTrip)
+{
+    ThresholdTable table;
+    table.Add({8, 1, 4096});
+    table.Add({32, 1, 3300});
+    table.Add({128, 4, 1500});
+    const std::string path = Path("roundtrip.txt");
+    SaveThresholds(table, path);
+
+    const ThresholdTable loaded = LoadThresholds(path);
+    ASSERT_EQ(loaded.entries().size(), 3u);
+    EXPECT_EQ(loaded.Lookup(32, 1), 3300);
+    EXPECT_EQ(loaded.Lookup(128, 4), 1500);
+    EXPECT_EQ(loaded.Lookup(8, 1), 4096);
+}
+
+TEST_F(ThresholdPersistTest, EmptyTableRoundTrips)
+{
+    const std::string path = Path("empty.txt");
+    SaveThresholds(ThresholdTable(), path);
+    const ThresholdTable loaded = LoadThresholds(path);
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_EQ(loaded.Lookup(32, 1, 777), 777);
+}
+
+TEST_F(ThresholdPersistTest, MissingFileThrows)
+{
+    EXPECT_THROW(LoadThresholds("/nonexistent/secemb_thresholds.txt"),
+                 std::runtime_error);
+}
+
+TEST_F(ThresholdPersistTest, CorruptFileThrows)
+{
+    const std::string path = Path("corrupt.txt");
+    std::ofstream(path) << "32 1 notanumber\n";
+    EXPECT_THROW(LoadThresholds(path), std::runtime_error);
+}
+
+TEST_F(ThresholdPersistTest, LoadedTableDrivesHybridDeployment)
+{
+    ThresholdTable table;
+    table.Add({32, 1, 1000});
+    const std::string path = Path("deploy.txt");
+    SaveThresholds(table, path);
+    const ThresholdTable loaded = LoadThresholds(path);
+
+    Rng rng(1);
+    dhe::DheConfig cfg;
+    cfg.k = 16;
+    cfg.fc_hidden = {8};
+    cfg.out_dim = 4;
+    auto dhe = std::make_shared<dhe::DheEmbedding>(cfg, rng);
+    HybridGenerator small(dhe, 100, loaded, 32, 1);
+    HybridGenerator large(dhe, 50000, loaded, 32, 1);
+    EXPECT_EQ(small.active_technique(), Technique::kLinearScan);
+    EXPECT_EQ(large.active_technique(), Technique::kDhe);
+}
+
+}  // namespace
+}  // namespace secemb::core
