@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl01_oram_encryption"
+  "../bench/abl01_oram_encryption.pdb"
+  "CMakeFiles/abl01_oram_encryption.dir/abl01_oram_encryption.cc.o"
+  "CMakeFiles/abl01_oram_encryption.dir/abl01_oram_encryption.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_oram_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl02_oram_bucket_size"
+  "../bench/abl02_oram_bucket_size.pdb"
+  "CMakeFiles/abl02_oram_bucket_size.dir/abl02_oram_bucket_size.cc.o"
+  "CMakeFiles/abl02_oram_bucket_size.dir/abl02_oram_bucket_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_oram_bucket_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl03_dhe_sizing"
+  "../bench/abl03_dhe_sizing.pdb"
+  "CMakeFiles/abl03_dhe_sizing.dir/abl03_dhe_sizing.cc.o"
+  "CMakeFiles/abl03_dhe_sizing.dir/abl03_dhe_sizing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_dhe_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl04_scan_vectorization"
+  "../bench/abl04_scan_vectorization.pdb"
+  "CMakeFiles/abl04_scan_vectorization.dir/abl04_scan_vectorization.cc.o"
+  "CMakeFiles/abl04_scan_vectorization.dir/abl04_scan_vectorization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_scan_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext01_sqrt_oram"
+  "../bench/ext01_sqrt_oram.pdb"
+  "CMakeFiles/ext01_sqrt_oram.dir/ext01_sqrt_oram.cc.o"
+  "CMakeFiles/ext01_sqrt_oram.dir/ext01_sqrt_oram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext01_sqrt_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

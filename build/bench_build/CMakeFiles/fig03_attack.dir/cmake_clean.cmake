@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_attack"
+  "../bench/fig03_attack.pdb"
+  "CMakeFiles/fig03_attack.dir/fig03_attack.cc.o"
+  "CMakeFiles/fig03_attack.dir/fig03_attack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

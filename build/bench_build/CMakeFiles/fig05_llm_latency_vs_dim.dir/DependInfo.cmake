@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_llm_latency_vs_dim.cc" "bench_build/CMakeFiles/fig05_llm_latency_vs_dim.dir/fig05_llm_latency_vs_dim.cc.o" "gcc" "bench_build/CMakeFiles/fig05_llm_latency_vs_dim.dir/fig05_llm_latency_vs_dim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/secemb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlrm/CMakeFiles/secemb_dlrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/secemb_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/secemb_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_util/CMakeFiles/secemb_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/secemb_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/secemb_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhe/CMakeFiles/secemb_dhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/secemb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/oblivious/CMakeFiles/secemb_oblivious.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidechannel/CMakeFiles/secemb_sidechannel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/secemb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_llm_latency_vs_dim"
+  "../bench/fig05_llm_latency_vs_dim.pdb"
+  "CMakeFiles/fig05_llm_latency_vs_dim.dir/fig05_llm_latency_vs_dim.cc.o"
+  "CMakeFiles/fig05_llm_latency_vs_dim.dir/fig05_llm_latency_vs_dim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_llm_latency_vs_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

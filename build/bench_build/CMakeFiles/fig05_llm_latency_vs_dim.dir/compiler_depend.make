@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_llm_latency_vs_dim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_thresholds"
+  "../bench/fig06_thresholds.pdb"
+  "CMakeFiles/fig06_thresholds.dir/fig06_thresholds.cc.o"
+  "CMakeFiles/fig06_thresholds.dir/fig06_thresholds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

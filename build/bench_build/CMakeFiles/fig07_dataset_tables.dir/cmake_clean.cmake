@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_dataset_tables"
+  "../bench/fig07_dataset_tables.pdb"
+  "CMakeFiles/fig07_dataset_tables.dir/fig07_dataset_tables.cc.o"
+  "CMakeFiles/fig07_dataset_tables.dir/fig07_dataset_tables.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dataset_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_colocation"
+  "../bench/fig08_colocation.pdb"
+  "CMakeFiles/fig08_colocation.dir/fig08_colocation.cc.o"
+  "CMakeFiles/fig08_colocation.dir/fig08_colocation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_colocation_split"
+  "../bench/fig09_colocation_split.pdb"
+  "CMakeFiles/fig09_colocation_split.dir/fig09_colocation_split.cc.o"
+  "CMakeFiles/fig09_colocation_split.dir/fig09_colocation_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_colocation_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_zerotrace_ablation"
+  "../bench/fig10_zerotrace_ablation.pdb"
+  "CMakeFiles/fig10_zerotrace_ablation.dir/fig10_zerotrace_ablation.cc.o"
+  "CMakeFiles/fig10_zerotrace_ablation.dir/fig10_zerotrace_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_zerotrace_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

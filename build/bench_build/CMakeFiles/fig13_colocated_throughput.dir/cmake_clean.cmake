@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_colocated_throughput"
+  "../bench/fig13_colocated_throughput.pdb"
+  "CMakeFiles/fig13_colocated_throughput.dir/fig13_colocated_throughput.cc.o"
+  "CMakeFiles/fig13_colocated_throughput.dir/fig13_colocated_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_colocated_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

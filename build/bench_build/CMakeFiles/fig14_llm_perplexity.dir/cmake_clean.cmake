@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_llm_perplexity"
+  "../bench/fig14_llm_perplexity.pdb"
+  "CMakeFiles/fig14_llm_perplexity.dir/fig14_llm_perplexity.cc.o"
+  "CMakeFiles/fig14_llm_perplexity.dir/fig14_llm_perplexity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_llm_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

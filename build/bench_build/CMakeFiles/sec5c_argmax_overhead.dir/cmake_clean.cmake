@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5c_argmax_overhead"
+  "../bench/sec5c_argmax_overhead.pdb"
+  "CMakeFiles/sec5c_argmax_overhead.dir/sec5c_argmax_overhead.cc.o"
+  "CMakeFiles/sec5c_argmax_overhead.dir/sec5c_argmax_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5c_argmax_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec5c_argmax_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_complexity"
+  "../bench/tab01_complexity.pdb"
+  "CMakeFiles/tab01_complexity.dir/tab01_complexity.cc.o"
+  "CMakeFiles/tab01_complexity.dir/tab01_complexity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_dlrm_accuracy"
+  "../bench/tab05_dlrm_accuracy.pdb"
+  "CMakeFiles/tab05_dlrm_accuracy.dir/tab05_dlrm_accuracy.cc.o"
+  "CMakeFiles/tab05_dlrm_accuracy.dir/tab05_dlrm_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_dlrm_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab06_memory_footprint"
+  "../bench/tab06_memory_footprint.pdb"
+  "CMakeFiles/tab06_memory_footprint.dir/tab06_memory_footprint.cc.o"
+  "CMakeFiles/tab06_memory_footprint.dir/tab06_memory_footprint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

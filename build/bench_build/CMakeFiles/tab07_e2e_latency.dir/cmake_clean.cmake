@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab07_e2e_latency"
+  "../bench/tab07_e2e_latency.pdb"
+  "CMakeFiles/tab07_e2e_latency.dir/tab07_e2e_latency.cc.o"
+  "CMakeFiles/tab07_e2e_latency.dir/tab07_e2e_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_e2e_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab08_meta_dataset"
+  "../bench/tab08_meta_dataset.pdb"
+  "CMakeFiles/tab08_meta_dataset.dir/tab08_meta_dataset.cc.o"
+  "CMakeFiles/tab08_meta_dataset.dir/tab08_meta_dataset.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab08_meta_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrm_serving.dir/dlrm_serving.cpp.o"
+  "CMakeFiles/dlrm_serving.dir/dlrm_serving.cpp.o.d"
+  "dlrm_serving"
+  "dlrm_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrm_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

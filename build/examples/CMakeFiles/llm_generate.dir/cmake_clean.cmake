@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_generate.dir/llm_generate.cpp.o"
+  "CMakeFiles/llm_generate.dir/llm_generate.cpp.o.d"
+  "llm_generate"
+  "llm_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

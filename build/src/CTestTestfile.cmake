@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("oblivious")
+subdirs("nn")
+subdirs("oram")
+subdirs("dhe")
+subdirs("sidechannel")
+subdirs("tee")
+subdirs("core")
+subdirs("dlrm")
+subdirs("llm")
+subdirs("profile")
+subdirs("bench_util")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/secemb_bench_util.dir/bench_util.cc.o.d"
+  "libsecemb_bench_util.a"
+  "libsecemb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dhe_generator.cc" "src/core/CMakeFiles/secemb_core.dir/dhe_generator.cc.o" "gcc" "src/core/CMakeFiles/secemb_core.dir/dhe_generator.cc.o.d"
+  "/root/repo/src/core/embedding_generator.cc" "src/core/CMakeFiles/secemb_core.dir/embedding_generator.cc.o" "gcc" "src/core/CMakeFiles/secemb_core.dir/embedding_generator.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/core/CMakeFiles/secemb_core.dir/factory.cc.o" "gcc" "src/core/CMakeFiles/secemb_core.dir/factory.cc.o.d"
+  "/root/repo/src/core/feature_set.cc" "src/core/CMakeFiles/secemb_core.dir/feature_set.cc.o" "gcc" "src/core/CMakeFiles/secemb_core.dir/feature_set.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/secemb_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/secemb_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/table_generators.cc" "src/core/CMakeFiles/secemb_core.dir/table_generators.cc.o" "gcc" "src/core/CMakeFiles/secemb_core.dir/table_generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oram/CMakeFiles/secemb_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhe/CMakeFiles/secemb_dhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidechannel/CMakeFiles/secemb_sidechannel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/secemb_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/secemb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/oblivious/CMakeFiles/secemb_oblivious.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/secemb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

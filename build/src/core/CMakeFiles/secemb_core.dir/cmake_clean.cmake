@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_core.dir/dhe_generator.cc.o"
+  "CMakeFiles/secemb_core.dir/dhe_generator.cc.o.d"
+  "CMakeFiles/secemb_core.dir/embedding_generator.cc.o"
+  "CMakeFiles/secemb_core.dir/embedding_generator.cc.o.d"
+  "CMakeFiles/secemb_core.dir/factory.cc.o"
+  "CMakeFiles/secemb_core.dir/factory.cc.o.d"
+  "CMakeFiles/secemb_core.dir/feature_set.cc.o"
+  "CMakeFiles/secemb_core.dir/feature_set.cc.o.d"
+  "CMakeFiles/secemb_core.dir/hybrid.cc.o"
+  "CMakeFiles/secemb_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/secemb_core.dir/table_generators.cc.o"
+  "CMakeFiles/secemb_core.dir/table_generators.cc.o.d"
+  "libsecemb_core.a"
+  "libsecemb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

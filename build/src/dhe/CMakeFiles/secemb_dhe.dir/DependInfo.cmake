@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dhe/dhe.cc" "src/dhe/CMakeFiles/secemb_dhe.dir/dhe.cc.o" "gcc" "src/dhe/CMakeFiles/secemb_dhe.dir/dhe.cc.o.d"
+  "/root/repo/src/dhe/hashing.cc" "src/dhe/CMakeFiles/secemb_dhe.dir/hashing.cc.o" "gcc" "src/dhe/CMakeFiles/secemb_dhe.dir/hashing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/secemb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/oblivious/CMakeFiles/secemb_oblivious.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/secemb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

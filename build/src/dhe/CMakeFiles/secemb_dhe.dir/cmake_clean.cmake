@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_dhe.dir/dhe.cc.o"
+  "CMakeFiles/secemb_dhe.dir/dhe.cc.o.d"
+  "CMakeFiles/secemb_dhe.dir/hashing.cc.o"
+  "CMakeFiles/secemb_dhe.dir/hashing.cc.o.d"
+  "libsecemb_dhe.a"
+  "libsecemb_dhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_dhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

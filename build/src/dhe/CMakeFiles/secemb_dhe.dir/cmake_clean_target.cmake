@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsecemb_dhe.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_dlrm.dir/config.cc.o"
+  "CMakeFiles/secemb_dlrm.dir/config.cc.o.d"
+  "CMakeFiles/secemb_dlrm.dir/dataset.cc.o"
+  "CMakeFiles/secemb_dlrm.dir/dataset.cc.o.d"
+  "CMakeFiles/secemb_dlrm.dir/interaction.cc.o"
+  "CMakeFiles/secemb_dlrm.dir/interaction.cc.o.d"
+  "CMakeFiles/secemb_dlrm.dir/model.cc.o"
+  "CMakeFiles/secemb_dlrm.dir/model.cc.o.d"
+  "libsecemb_dlrm.a"
+  "libsecemb_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_llm.dir/attention.cc.o"
+  "CMakeFiles/secemb_llm.dir/attention.cc.o.d"
+  "CMakeFiles/secemb_llm.dir/corpus.cc.o"
+  "CMakeFiles/secemb_llm.dir/corpus.cc.o.d"
+  "CMakeFiles/secemb_llm.dir/gpt.cc.o"
+  "CMakeFiles/secemb_llm.dir/gpt.cc.o.d"
+  "CMakeFiles/secemb_llm.dir/gpt_config.cc.o"
+  "CMakeFiles/secemb_llm.dir/gpt_config.cc.o.d"
+  "libsecemb_llm.a"
+  "libsecemb_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_nn.dir/embedding.cc.o"
+  "CMakeFiles/secemb_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/secemb_nn.dir/layers.cc.o"
+  "CMakeFiles/secemb_nn.dir/layers.cc.o.d"
+  "CMakeFiles/secemb_nn.dir/loss.cc.o"
+  "CMakeFiles/secemb_nn.dir/loss.cc.o.d"
+  "CMakeFiles/secemb_nn.dir/optim.cc.o"
+  "CMakeFiles/secemb_nn.dir/optim.cc.o.d"
+  "CMakeFiles/secemb_nn.dir/serialize.cc.o"
+  "CMakeFiles/secemb_nn.dir/serialize.cc.o.d"
+  "libsecemb_nn.a"
+  "libsecemb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

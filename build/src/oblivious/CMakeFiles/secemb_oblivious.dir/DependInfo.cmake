@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oblivious/ct_ops.cc" "src/oblivious/CMakeFiles/secemb_oblivious.dir/ct_ops.cc.o" "gcc" "src/oblivious/CMakeFiles/secemb_oblivious.dir/ct_ops.cc.o.d"
+  "/root/repo/src/oblivious/scan.cc" "src/oblivious/CMakeFiles/secemb_oblivious.dir/scan.cc.o" "gcc" "src/oblivious/CMakeFiles/secemb_oblivious.dir/scan.cc.o.d"
+  "/root/repo/src/oblivious/sort.cc" "src/oblivious/CMakeFiles/secemb_oblivious.dir/sort.cc.o" "gcc" "src/oblivious/CMakeFiles/secemb_oblivious.dir/sort.cc.o.d"
+  "/root/repo/src/oblivious/vector_scan.cc" "src/oblivious/CMakeFiles/secemb_oblivious.dir/vector_scan.cc.o" "gcc" "src/oblivious/CMakeFiles/secemb_oblivious.dir/vector_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/secemb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_oblivious.dir/ct_ops.cc.o"
+  "CMakeFiles/secemb_oblivious.dir/ct_ops.cc.o.d"
+  "CMakeFiles/secemb_oblivious.dir/scan.cc.o"
+  "CMakeFiles/secemb_oblivious.dir/scan.cc.o.d"
+  "CMakeFiles/secemb_oblivious.dir/sort.cc.o"
+  "CMakeFiles/secemb_oblivious.dir/sort.cc.o.d"
+  "CMakeFiles/secemb_oblivious.dir/vector_scan.cc.o"
+  "CMakeFiles/secemb_oblivious.dir/vector_scan.cc.o.d"
+  "libsecemb_oblivious.a"
+  "libsecemb_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for secemb_oblivious.
+# This may be replaced when dependencies are built.

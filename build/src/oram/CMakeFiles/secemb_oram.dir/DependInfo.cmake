@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oram/crypto.cc" "src/oram/CMakeFiles/secemb_oram.dir/crypto.cc.o" "gcc" "src/oram/CMakeFiles/secemb_oram.dir/crypto.cc.o.d"
+  "/root/repo/src/oram/footprint.cc" "src/oram/CMakeFiles/secemb_oram.dir/footprint.cc.o" "gcc" "src/oram/CMakeFiles/secemb_oram.dir/footprint.cc.o.d"
+  "/root/repo/src/oram/sqrt_oram.cc" "src/oram/CMakeFiles/secemb_oram.dir/sqrt_oram.cc.o" "gcc" "src/oram/CMakeFiles/secemb_oram.dir/sqrt_oram.cc.o.d"
+  "/root/repo/src/oram/tree_oram.cc" "src/oram/CMakeFiles/secemb_oram.dir/tree_oram.cc.o" "gcc" "src/oram/CMakeFiles/secemb_oram.dir/tree_oram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oblivious/CMakeFiles/secemb_oblivious.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidechannel/CMakeFiles/secemb_sidechannel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/secemb_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/secemb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_oram.dir/crypto.cc.o"
+  "CMakeFiles/secemb_oram.dir/crypto.cc.o.d"
+  "CMakeFiles/secemb_oram.dir/footprint.cc.o"
+  "CMakeFiles/secemb_oram.dir/footprint.cc.o.d"
+  "CMakeFiles/secemb_oram.dir/sqrt_oram.cc.o"
+  "CMakeFiles/secemb_oram.dir/sqrt_oram.cc.o.d"
+  "CMakeFiles/secemb_oram.dir/tree_oram.cc.o"
+  "CMakeFiles/secemb_oram.dir/tree_oram.cc.o.d"
+  "libsecemb_oram.a"
+  "libsecemb_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_profile.dir/profiler.cc.o"
+  "CMakeFiles/secemb_profile.dir/profiler.cc.o.d"
+  "libsecemb_profile.a"
+  "libsecemb_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sidechannel/attacker.cc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/attacker.cc.o" "gcc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/attacker.cc.o.d"
+  "/root/repo/src/sidechannel/cache_model.cc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/cache_model.cc.o" "gcc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/cache_model.cc.o.d"
+  "/root/repo/src/sidechannel/oblivious_check.cc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/oblivious_check.cc.o" "gcc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/oblivious_check.cc.o.d"
+  "/root/repo/src/sidechannel/page_channel.cc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/page_channel.cc.o" "gcc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/page_channel.cc.o.d"
+  "/root/repo/src/sidechannel/trace.cc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/trace.cc.o" "gcc" "src/sidechannel/CMakeFiles/secemb_sidechannel.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/secemb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_sidechannel.dir/attacker.cc.o"
+  "CMakeFiles/secemb_sidechannel.dir/attacker.cc.o.d"
+  "CMakeFiles/secemb_sidechannel.dir/cache_model.cc.o"
+  "CMakeFiles/secemb_sidechannel.dir/cache_model.cc.o.d"
+  "CMakeFiles/secemb_sidechannel.dir/oblivious_check.cc.o"
+  "CMakeFiles/secemb_sidechannel.dir/oblivious_check.cc.o.d"
+  "CMakeFiles/secemb_sidechannel.dir/page_channel.cc.o"
+  "CMakeFiles/secemb_sidechannel.dir/page_channel.cc.o.d"
+  "CMakeFiles/secemb_sidechannel.dir/trace.cc.o"
+  "CMakeFiles/secemb_sidechannel.dir/trace.cc.o.d"
+  "libsecemb_sidechannel.a"
+  "libsecemb_sidechannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_tee.dir/tee_model.cc.o"
+  "CMakeFiles/secemb_tee.dir/tee_model.cc.o.d"
+  "libsecemb_tee.a"
+  "libsecemb_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/gemm.cc" "src/tensor/CMakeFiles/secemb_tensor.dir/gemm.cc.o" "gcc" "src/tensor/CMakeFiles/secemb_tensor.dir/gemm.cc.o.d"
+  "/root/repo/src/tensor/parallel.cc" "src/tensor/CMakeFiles/secemb_tensor.dir/parallel.cc.o" "gcc" "src/tensor/CMakeFiles/secemb_tensor.dir/parallel.cc.o.d"
+  "/root/repo/src/tensor/rng.cc" "src/tensor/CMakeFiles/secemb_tensor.dir/rng.cc.o" "gcc" "src/tensor/CMakeFiles/secemb_tensor.dir/rng.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/secemb_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/secemb_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

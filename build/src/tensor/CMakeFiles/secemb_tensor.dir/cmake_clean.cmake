@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secemb_tensor.dir/gemm.cc.o"
+  "CMakeFiles/secemb_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/secemb_tensor.dir/parallel.cc.o"
+  "CMakeFiles/secemb_tensor.dir/parallel.cc.o.d"
+  "CMakeFiles/secemb_tensor.dir/rng.cc.o"
+  "CMakeFiles/secemb_tensor.dir/rng.cc.o.d"
+  "CMakeFiles/secemb_tensor.dir/tensor.cc.o"
+  "CMakeFiles/secemb_tensor.dir/tensor.cc.o.d"
+  "libsecemb_tensor.a"
+  "libsecemb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secemb_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

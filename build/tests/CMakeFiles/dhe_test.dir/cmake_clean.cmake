@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhe_test.dir/dhe_test.cc.o"
+  "CMakeFiles/dhe_test.dir/dhe_test.cc.o.d"
+  "dhe_test"
+  "dhe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

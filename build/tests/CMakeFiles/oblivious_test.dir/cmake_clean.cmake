@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblivious_test.dir/oblivious_test.cc.o"
+  "CMakeFiles/oblivious_test.dir/oblivious_test.cc.o.d"
+  "oblivious_test"
+  "oblivious_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblivious_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_channel_test.dir/page_channel_test.cc.o"
+  "CMakeFiles/page_channel_test.dir/page_channel_test.cc.o.d"
+  "page_channel_test"
+  "page_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidechannel_test.dir/sidechannel_test.cc.o"
+  "CMakeFiles/sidechannel_test.dir/sidechannel_test.cc.o.d"
+  "sidechannel_test"
+  "sidechannel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidechannel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

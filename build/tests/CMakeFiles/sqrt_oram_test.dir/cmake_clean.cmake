@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqrt_oram_test.dir/sqrt_oram_test.cc.o"
+  "CMakeFiles/sqrt_oram_test.dir/sqrt_oram_test.cc.o.d"
+  "sqrt_oram_test"
+  "sqrt_oram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqrt_oram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_persist_test.dir/threshold_persist_test.cc.o"
+  "CMakeFiles/threshold_persist_test.dir/threshold_persist_test.cc.o.d"
+  "threshold_persist_test"
+  "threshold_persist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
