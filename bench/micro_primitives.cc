@@ -8,6 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util/json.h"
 #include "dhe/hashing.h"
 #include "oblivious/ct_ops.h"
 #include "oblivious/scan.h"
@@ -121,7 +127,88 @@ BENCHMARK(BM_OramAccess)
     ->Arg(1)
     ->ArgNames({"kind(0=Path,1=Circuit)"});
 
+/**
+ * Console reporter that additionally captures every run so main() can
+ * emit the secemb-bench-v1 JSON document next to the usual table.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct CapturedRun
+    {
+        std::string name;
+        int64_t iterations;
+        double mean_ns;
+        std::vector<std::pair<std::string, uint64_t>> counters;
+    };
+
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const Run& run : runs) {
+            if (run.error_occurred || run.iterations <= 0) continue;
+            CapturedRun captured;
+            captured.name = run.benchmark_name();
+            captured.iterations = run.iterations;
+            captured.mean_ns = run.real_accumulated_time /
+                               static_cast<double>(run.iterations) * 1e9;
+            for (const auto& [cname, counter] : run.counters) {
+                captured.counters.emplace_back(
+                    cname, static_cast<uint64_t>(counter.value));
+            }
+            captured_.push_back(std::move(captured));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<CapturedRun>& captured() const { return captured_; }
+
+  private:
+    std::vector<CapturedRun> captured_;
+};
+
 }  // namespace
 }  // namespace secemb
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // Peel off --json <path> (ours) before google-benchmark sees the
+    // command line; everything else passes through untouched.
+    std::string json_path;
+    std::vector<char*> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    int filtered_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&filtered_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               passthrough.data())) {
+        return 1;
+    }
+
+    secemb::CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!json_path.empty()) {
+        secemb::bench::BenchReport report("micro_primitives");
+        for (const auto& run : reporter.captured()) {
+            auto& result = report.AddResult(run.name);
+            result.latency = secemb::bench::LatencyStats::FromMean(
+                run.mean_ns, static_cast<uint64_t>(run.iterations));
+            result.counters = run.counters;
+        }
+        if (!report.WriteTo(json_path)) {
+            std::fprintf(stderr, "micro_primitives: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

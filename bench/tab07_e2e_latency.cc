@@ -9,13 +9,16 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util/bench_util.h"
+#include "bench_util/json.h"
 #include "core/factory.h"
 #include "dlrm/dataset.h"
 #include "dlrm/model.h"
 #include "profile/profiler.h"
+#include "telemetry/telemetry.h"
 
 using namespace secemb;
 
@@ -25,7 +28,12 @@ main(int argc, char** argv)
     const bench::Args args(argc, argv);
     const int64_t scale = args.GetInt("--scale", 200);
     const int batch = static_cast<int>(args.GetInt("--batch", 32));
+    const int reps = static_cast<int>(args.GetInt("--reps", 3));
     const bool skip_path = args.GetBool("--skip-path");
+    const std::string json_path = args.GetString("--json");
+    const std::string trace_path = args.GetString("--trace");
+
+    bench::BenchReport report("tab07_e2e_latency");
 
     std::vector<core::GenKind> kinds{
         core::GenKind::kIndexLookup, core::GenKind::kLinearScan,
@@ -58,6 +66,10 @@ main(int argc, char** argv)
         double circuit_ns = 0.0;
         std::vector<std::pair<std::string, double>> results;
         for (auto kind : kinds) {
+            // Per-method counters: zero the registry so the JSON report
+            // attributes counts (scan rows, DHE calls, ORAM accesses) to
+            // this method alone.
+            telemetry::Registry::Instance().ResetAll();
             Rng rng(static_cast<uint64_t>(kind) * 31 + 5);
             std::vector<std::unique_ptr<core::EmbeddingGenerator>> gens;
             core::GeneratorOptions opt;
@@ -73,11 +85,28 @@ main(int argc, char** argv)
             }
             Rng mlp_rng(13);
             dlrm::SecureDlrm model(cfg, std::move(gens), mlp_rng);
-            const double ns = bench::TimeCallNs(
-                [&] { model.Inference(data.dense, data.sparse); }, 1, 3);
+            const std::vector<double> samples = bench::TimeCallSamplesNs(
+                [&] { model.Inference(data.dense, data.sparse); }, 1,
+                reps);
+            const bench::LatencyStats stats =
+                bench::LatencyStats::FromSamples(samples);
+            const double ns = stats.mean_ns;
             if (kind == core::GenKind::kCircuitOram) circuit_ns = ns;
             results.emplace_back(std::string(core::GenKindName(kind)),
                                  ns);
+
+            auto& result =
+                report.AddResult(std::string(core::GenKindName(kind)));
+            result.str_params.emplace_back(
+                "dataset", terabyte ? "terabyte" : "kaggle");
+            result.num_params.emplace_back(
+                "scale", static_cast<double>(scale));
+            result.num_params.emplace_back(
+                "batch", static_cast<double>(batch));
+            result.num_params.emplace_back(
+                "emb_dim", static_cast<double>(cfg.emb_dim));
+            result.latency = stats;
+            bench::BenchReport::AttachTelemetryCounters(result);
         }
 
         bench::TablePrinter table(
@@ -91,6 +120,17 @@ main(int argc, char** argv)
         }
         table.Print();
         std::printf("\n");
+    }
+    if (!json_path.empty() && !report.WriteTo(json_path)) {
+        std::fprintf(stderr, "tab07: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    if (!trace_path.empty() &&
+        !telemetry::WriteChromeTrace(trace_path)) {
+        std::fprintf(stderr, "tab07: cannot write %s\n",
+                     trace_path.c_str());
+        return 1;
     }
     std::printf(
         "Expected (paper Table VII): linear scan slowest by orders of\n"

@@ -14,6 +14,20 @@ TimeCallNs(const std::function<void()>& fn, int warmup, int reps)
     return t.ElapsedNs() / reps;
 }
 
+std::vector<double>
+TimeCallSamplesNs(const std::function<void()>& fn, int warmup, int reps)
+{
+    for (int i = 0; i < warmup; ++i) fn();
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        WallTimer t;
+        fn();
+        samples.push_back(t.ElapsedNs());
+    }
+    return samples;
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {
@@ -102,6 +116,15 @@ Args::GetDouble(const std::string& flag, double def) const
 {
     for (size_t i = 0; i + 1 < args_.size(); ++i) {
         if (args_[i] == flag) return std::stod(args_[i + 1]);
+    }
+    return def;
+}
+
+std::string
+Args::GetString(const std::string& flag, const std::string& def) const
+{
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+        if (args_[i] == flag) return args_[i + 1];
     }
     return def;
 }

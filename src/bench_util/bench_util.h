@@ -43,6 +43,13 @@ class WallTimer
 double TimeCallNs(const std::function<void()>& fn, int warmup = 1,
                   int reps = 3);
 
+/**
+ * Per-rep wall times (ns) of fn after `warmup` unmeasured calls: the raw
+ * samples percentile reporting needs (BenchReport / LatencyStats).
+ */
+std::vector<double> TimeCallSamplesNs(const std::function<void()>& fn,
+                                      int warmup = 1, int reps = 3);
+
 /** Fixed-width console table. */
 class TablePrinter
 {
@@ -71,6 +78,9 @@ class Args
     int64_t GetInt(const std::string& flag, int64_t def) const;
     double GetDouble(const std::string& flag, double def) const;
     bool GetBool(const std::string& flag) const;
+    /** Value following `flag` (e.g. --json out.json), or `def`. */
+    std::string GetString(const std::string& flag,
+                          const std::string& def = "") const;
 
   private:
     std::vector<std::string> args_;

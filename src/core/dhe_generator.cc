@@ -1,5 +1,6 @@
 #include "core/dhe_generator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -10,6 +11,8 @@ DheGenerator::DheGenerator(std::shared_ptr<dhe::DheEmbedding> dhe,
     : dhe_(std::move(dhe)), num_rows_(num_rows)
 {
     assert(dhe_ != nullptr);
+    trace_base_ = sidechannel::ProcessAddressSpace().Reserve(
+        static_cast<uint64_t>(dhe_->ParamBytes()));
 }
 
 void
@@ -17,6 +20,16 @@ DheGenerator::Generate(std::span<const int64_t> indices, Tensor& out)
 {
     assert(out.size(0) == static_cast<int64_t>(indices.size()) &&
            out.size(1) == dim());
+    // DHE touches its entire parameter set for every batch element,
+    // whatever the ids are: one whole-region access per element at
+    // whole-table granularity (matching LinearScanTable's reporting).
+    if (recorder_) {
+        const uint32_t bytes = static_cast<uint32_t>(
+            std::min<int64_t>(dhe_->ParamBytes(), UINT32_MAX));
+        for (size_t i = 0; i < indices.size(); ++i) {
+            recorder_->Record(trace_base_, bytes, false);
+        }
+    }
     const Tensor result = dhe_->Forward(indices);
     std::memcpy(out.data(), result.data(),
                 static_cast<size_t>(result.numel()) * sizeof(float));

@@ -29,6 +29,13 @@ class DheGenerator : public EmbeddingGenerator
     void Generate(std::span<const int64_t> indices, Tensor& out) override;
     int64_t dim() const override { return dhe_->out_dim(); }
     int64_t num_rows() const override { return num_rows_; }
+    void set_recorder(sidechannel::TraceRecorder* r) override
+    {
+        recorder_ = r;
+    }
+
+    /** Virtual base address of the DHE parameter region in traces. */
+    uint64_t trace_base() const { return trace_base_; }
     int64_t MemoryFootprintBytes() const override
     {
         return dhe_->ParamBytes();
@@ -45,6 +52,8 @@ class DheGenerator : public EmbeddingGenerator
   private:
     std::shared_ptr<dhe::DheEmbedding> dhe_;
     int64_t num_rows_;
+    sidechannel::TraceRecorder* recorder_ = nullptr;
+    uint64_t trace_base_;
 };
 
 }  // namespace secemb::core

@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace secemb::core {
 
 int64_t
@@ -89,6 +91,7 @@ HybridGenerator::Reconfigure(const ThresholdTable& thresholds,
     nthreads_ = nthreads;
     const int64_t threshold = thresholds.Lookup(batch_size, nthreads);
     technique_ = ChooseTechnique(table_size_, threshold);
+    TELEMETRY_COUNT("hybrid.reconfigure", 1);
     if (technique_ == Technique::kLinearScan && !scan_) {
         // Materialise the table from the trained DHE once; later
         // reconfigurations reuse it (Algorithm 2, offline step 2).
@@ -111,6 +114,15 @@ HybridGenerator::Active()
 void
 HybridGenerator::Generate(std::span<const int64_t> indices, Tensor& out)
 {
+    TELEMETRY_SPAN("hybrid.generate");
+    // The dispatch count leaks only the technique choice, which is a
+    // function of public quantities (table size, execution config) — the
+    // same thing HybridGenerator::name() already exposes.
+    if (technique_ == Technique::kLinearScan) {
+        TELEMETRY_COUNT("hybrid.dispatch.scan", 1);
+    } else {
+        TELEMETRY_COUNT("hybrid.dispatch.dhe", 1);
+    }
     Active().Generate(indices, out);
 }
 

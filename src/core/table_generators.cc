@@ -5,19 +5,12 @@
 
 #include "oblivious/scan.h"
 #include "oblivious/vector_scan.h"
+#include "telemetry/telemetry.h"
 #include "tensor/parallel.h"
 
 namespace secemb::core {
 
 namespace {
-
-/** Process-wide virtual address allocator for trace bases. */
-uint64_t
-NextTraceBase(uint64_t bytes)
-{
-    static sidechannel::AddressSpace space;
-    return space.Reserve(bytes);
-}
 
 }  // namespace
 
@@ -27,7 +20,8 @@ NextTraceBase(uint64_t bytes)
 
 TableLookup::TableLookup(Tensor table)
     : table_(std::move(table)),
-      trace_base_(NextTraceBase(static_cast<uint64_t>(table_.SizeBytes())))
+      trace_base_(sidechannel::ProcessAddressSpace().Reserve(
+          static_cast<uint64_t>(table_.SizeBytes())))
 {
     assert(table_.dim() == 2);
 }
@@ -59,7 +53,8 @@ TableLookup::Generate(std::span<const int64_t> indices, Tensor& out)
 
 LinearScanTable::LinearScanTable(Tensor table)
     : table_(std::move(table)),
-      trace_base_(NextTraceBase(static_cast<uint64_t>(table_.SizeBytes())))
+      trace_base_(sidechannel::ProcessAddressSpace().Reserve(
+          static_cast<uint64_t>(table_.SizeBytes())))
 {
     assert(table_.dim() == 2);
 }
@@ -71,6 +66,8 @@ LinearScanTable::Generate(std::span<const int64_t> indices, Tensor& out)
     const int64_t d = dim();
     const int64_t rows = num_rows();
     assert(out.size(0) == n && out.size(1) == d);
+    TELEMETRY_SPAN("scan.generate");
+    TELEMETRY_SCOPED_LATENCY("scan.generate.ns");
 
     // Every query touches the whole table, regardless of its index.
     if (recorder_) {
@@ -98,6 +95,8 @@ LinearScanTable::GeneratePooled(std::span<const int64_t> indices,
     const int64_t d = dim();
     const int64_t rows = num_rows();
     assert(out.size(0) == n && out.size(1) == d);
+    TELEMETRY_SPAN("scan.generate_pooled");
+    TELEMETRY_SCOPED_LATENCY("scan.generate.ns");
     if (recorder_) {
         for (size_t e = 0; e < indices.size(); ++e) {
             recorder_->Record(

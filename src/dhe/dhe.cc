@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace secemb::dhe {
 
 DheConfig
@@ -77,6 +79,10 @@ DheEmbedding::DheEmbedding(const DheConfig& config, Rng& rng, int nthreads)
 Tensor
 DheEmbedding::Forward(std::span<const int64_t> ids)
 {
+    TELEMETRY_SPAN("dhe.forward");
+    TELEMETRY_SCOPED_LATENCY("dhe.forward.ns");
+    TELEMETRY_COUNT("dhe.forward.calls", 1);
+    TELEMETRY_COUNT("dhe.forward.ids", ids.size());
     const Tensor encoded = encoder_.Encode(ids);
     return decoder_->Forward(encoded);
 }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace secemb::dlrm {
 
 namespace {
@@ -192,12 +194,19 @@ Tensor
 SecureDlrm::Inference(const Tensor& dense,
                       const std::vector<std::vector<int64_t>>& sparse)
 {
+    TELEMETRY_SPAN("dlrm.inference");
+    TELEMETRY_SCOPED_LATENCY("dlrm.inference.ns");
+    TELEMETRY_COUNT("dlrm.inference.requests", dense.size(0));
     const Tensor dense_out = bot_->Forward(dense);
     std::vector<Tensor> embs;
     embs.reserve(sparse.size());
-    for (int64_t f = 0; f < config_.num_sparse(); ++f) {
-        embs.push_back(generators_[static_cast<size_t>(f)]->GenerateBatch(
-            sparse[static_cast<size_t>(f)]));
+    {
+        TELEMETRY_SPAN("dlrm.embedding_layers");
+        for (int64_t f = 0; f < config_.num_sparse(); ++f) {
+            embs.push_back(
+                generators_[static_cast<size_t>(f)]->GenerateBatch(
+                    sparse[static_cast<size_t>(f)]));
+        }
     }
     const Tensor z =
         InteractionForward(config_.interaction, dense_out, embs);
@@ -212,6 +221,9 @@ SecureDlrm::InferencePooled(
     const std::vector<std::vector<int64_t>>& sparse_offsets)
 {
     assert(sparse_ids.size() == sparse_offsets.size());
+    TELEMETRY_SPAN("dlrm.inference_pooled");
+    TELEMETRY_SCOPED_LATENCY("dlrm.inference.ns");
+    TELEMETRY_COUNT("dlrm.inference.requests", dense.size(0));
     const Tensor dense_out = bot_->Forward(dense);
     std::vector<Tensor> embs;
     embs.reserve(sparse_ids.size());

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "oblivious/scan.h"
+#include "telemetry/telemetry.h"
 
 namespace secemb::llm {
 
@@ -108,6 +109,9 @@ GptModel::Forward(std::span<const int64_t> tokens, int64_t batch,
                   int64_t seq)
 {
     assert(static_cast<int64_t>(tokens.size()) == batch * seq);
+    TELEMETRY_SPAN("llm.forward");
+    TELEMETRY_SCOPED_LATENCY("llm.forward.ns");
+    TELEMETRY_COUNT("llm.forward.tokens", batch * seq);
     cached_tokens_.assign(tokens.begin(), tokens.end());
     cached_positions_.resize(static_cast<size_t>(batch * seq));
     for (int64_t b = 0; b < batch; ++b) {
@@ -259,6 +263,8 @@ SecureGpt::Trunk(const Tensor& emb, int64_t batch, int64_t new_seq)
 Tensor
 SecureGpt::Prefill(const std::vector<std::vector<int64_t>>& prompts)
 {
+    TELEMETRY_SPAN("llm.prefill");
+    TELEMETRY_SCOPED_LATENCY("llm.prefill.ns");
     const int64_t batch = static_cast<int64_t>(prompts.size());
     assert(batch > 0);
     const int64_t seq = static_cast<int64_t>(prompts[0].size());
@@ -293,6 +299,8 @@ SecureGpt::Prefill(const std::vector<std::vector<int64_t>>& prompts)
 Tensor
 SecureGpt::DecodeStep(std::span<const int64_t> tokens)
 {
+    TELEMETRY_SPAN("llm.decode_step");
+    TELEMETRY_SCOPED_LATENCY("llm.decode_step.ns");
     const int64_t batch = static_cast<int64_t>(tokens.size());
     assert(batch == batch_ && !caches_.empty());
     std::vector<int64_t> positions(static_cast<size_t>(batch),

@@ -5,6 +5,11 @@
 #include <limits>
 
 #include "oblivious/ct_ops.h"
+#include "telemetry/telemetry.h"
+
+// Obliviousness-preserving instrumentation: every probe below fires once
+// per call or per public shape (rows, k), never conditionally on the
+// secret index — verified by telemetry_test.cc via ON/OFF trace equality.
 
 namespace secemb::oblivious {
 
@@ -15,6 +20,8 @@ LinearScanLookup(std::span<const float> table, int64_t rows, int64_t cols,
     assert(static_cast<int64_t>(table.size()) == rows * cols);
     assert(static_cast<int64_t>(out.size()) == cols);
     assert(index >= 0 && index < rows);
+    TELEMETRY_COUNT("oblivious.scan.calls", 1);
+    TELEMETRY_COUNT("oblivious.scan.rows", rows);
     for (int64_t r = 0; r < rows; ++r) {
         const uint64_t mask = EqMask(static_cast<uint64_t>(r),
                                      static_cast<uint64_t>(index));
@@ -31,6 +38,8 @@ LinearScanLookupAccumulate(std::span<const float> table, int64_t rows,
     assert(static_cast<int64_t>(table.size()) == rows * cols);
     assert(static_cast<int64_t>(out.size()) == cols);
     assert(index >= 0 && index < rows);
+    TELEMETRY_COUNT("oblivious.scan.calls", 1);
+    TELEMETRY_COUNT("oblivious.scan.rows", rows);
     for (int64_t r = 0; r < rows; ++r) {
         const uint64_t mask = EqMask(static_cast<uint64_t>(r),
                                      static_cast<uint64_t>(index));
@@ -46,6 +55,8 @@ int64_t
 ObliviousArgmax(std::span<const float> values)
 {
     assert(!values.empty());
+    TELEMETRY_SPAN("oblivious.argmax");
+    TELEMETRY_COUNT("oblivious.argmax.calls", 1);
     // Compare float bits with a total order trick: flip the sign bit for
     // non-negatives and all bits for negatives, then compare unsigned.
     auto key = [](float f) {
@@ -69,6 +80,8 @@ std::vector<int64_t>
 ObliviousTopK(std::span<const float> values, int64_t k)
 {
     assert(k >= 0 && k <= static_cast<int64_t>(values.size()));
+    TELEMETRY_SPAN("oblivious.topk");
+    TELEMETRY_COUNT("oblivious.topk.calls", 1);
     // Work on a masked copy: after each selection the winner is
     // obliviously overwritten with -inf (every slot is rewritten).
     std::vector<float> work(values.begin(), values.end());

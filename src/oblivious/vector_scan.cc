@@ -4,6 +4,7 @@
 
 #include "oblivious/ct_ops.h"
 #include "oblivious/scan.h"
+#include "telemetry/telemetry.h"
 
 namespace secemb::oblivious {
 
@@ -26,6 +27,10 @@ LinearScanLookupVec(std::span<const float> table, int64_t rows,
     assert(static_cast<int64_t>(table.size()) == rows * cols);
     assert(static_cast<int64_t>(out.size()) == cols);
     assert(index >= 0 && index < rows);
+    // Fires per call with public shape operands only (rows is public);
+    // the scalar fallback adds its own oblivious.scan.* counts.
+    TELEMETRY_COUNT("oblivious.vscan.calls", 1);
+    TELEMETRY_COUNT("oblivious.vscan.rows", rows);
 
 #if SECEMB_HAVE_VECTOR_EXT
     if (VecScanEligible(cols)) {

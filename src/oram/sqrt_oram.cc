@@ -8,6 +8,7 @@
 
 #include "oblivious/ct_ops.h"
 #include "oblivious/sort.h"
+#include "telemetry/telemetry.h"
 
 namespace secemb::oram {
 
@@ -130,6 +131,8 @@ SqrtOram::Access(int64_t logical_id, bool is_write,
 {
     assert(logical_id >= 0 && logical_id < num_blocks_);
     ++stats_.accesses;
+    TELEMETRY_SPAN("sqrt_oram.access");
+    TELEMETRY_COUNT("sqrt_oram.accesses", 1);
     const uint64_t id = static_cast<uint64_t>(logical_id);
 
     // 1. Oblivious shelter scan: collect data if present.

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "oblivious/ct_ops.h"
+#include "telemetry/telemetry.h"
 
 namespace secemb::oram {
 
@@ -723,6 +724,11 @@ TreeOram::Access(int64_t id, Op op, std::span<uint32_t> read_out,
 {
     assert(id >= 0 && id < num_blocks_);
     ++stats_.accesses;
+    // Spans/counters fire once per access whatever `id` is; recursive
+    // position-map accesses nest their own oram.access spans.
+    TELEMETRY_SPAN("oram.access");
+    TELEMETRY_SCOPED_LATENCY("oram.access.ns");
+    TELEMETRY_COUNT("oram.accesses", 1);
 
     const uint32_t new_leaf = RandomLeaf();
     const uint32_t old_leaf = posmap_.Update(id, new_leaf);

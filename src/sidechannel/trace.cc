@@ -12,4 +12,11 @@ AddressSpace::Reserve(uint64_t bytes, uint64_t align)
     return base;
 }
 
+AddressSpace&
+ProcessAddressSpace()
+{
+    static AddressSpace space;
+    return space;
+}
+
 }  // namespace secemb::sidechannel

@@ -68,4 +68,11 @@ class AddressSpace
     uint64_t next_ = 0x10000000ULL;
 };
 
+/**
+ * The process-wide AddressSpace every instrumented generator reserves its
+ * trace base from, so bases never collide when traces from different
+ * components are merged into one cache-model replay.
+ */
+AddressSpace& ProcessAddressSpace();
+
 }  // namespace secemb::sidechannel

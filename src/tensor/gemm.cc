@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
 #include "tensor/parallel.h"
 
 namespace secemb {
@@ -31,6 +32,9 @@ Gemm(const Tensor& a, const Tensor& b, Tensor& c, int nthreads)
     const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
     if (b.size(0) != k) throw std::invalid_argument("Gemm: inner mismatch");
     CheckMatMulShapes(a, b, c, m, k, n);
+    TELEMETRY_SPAN("tensor.gemm");
+    TELEMETRY_COUNT("tensor.gemm.calls", 1);
+    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
 
     const float* ap = a.data();
     const float* bp = b.data();
@@ -58,6 +62,9 @@ GemmBT(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads)
         throw std::invalid_argument("GemmBT: inner mismatch");
     }
     CheckMatMulShapes(a, b_t, c, m, k, n);
+    TELEMETRY_SPAN("tensor.gemm_bt");
+    TELEMETRY_COUNT("tensor.gemm.calls", 1);
+    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
 
     const float* ap = a.data();
     const float* bp = b_t.data();
@@ -87,6 +94,9 @@ GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads)
     if (c.size(0) != m || c.size(1) != n) {
         throw std::invalid_argument("GemmAT: output shape mismatch");
     }
+    TELEMETRY_SPAN("tensor.gemm_at");
+    TELEMETRY_COUNT("tensor.gemm.calls", 1);
+    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
 
     const float* ap = a_t.data();
     const float* bp = b.data();

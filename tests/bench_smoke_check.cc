@@ -1,0 +1,131 @@
+/**
+ * @file
+ * bench_smoke CTest driver: runs micro_primitives with tiny parameters
+ * and --json, then validates the emitted secemb-bench-v1 document (keys
+ * present, non-negative latencies). Guards the machine-readable contract
+ * the BENCH_*.json aggregation harness depends on.
+ *
+ * Usage: bench_smoke_check <micro_primitives binary> <output json path>
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util/json.h"
+
+namespace {
+
+int failures = 0;
+
+void
+Check(bool ok, const std::string& what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+        ++failures;
+    }
+}
+
+/** Fetch a required non-negative number member of `obj`. */
+void
+CheckNonNegativeNumber(const secemb::bench::JsonValue& obj,
+                       const std::string& key, const std::string& where)
+{
+    const auto* v = obj.Find(key);
+    Check(v != nullptr && v->IsNumber(),
+          where + " has number member '" + key + "'");
+    if (v != nullptr && v->IsNumber()) {
+        Check(v->num_v >= 0.0, where + "." + key + " is non-negative");
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 3) {
+        std::fprintf(
+            stderr,
+            "usage: bench_smoke_check <micro_primitives> <out.json>\n");
+        return 2;
+    }
+    const std::string binary = argv[1];
+    const std::string out_path = argv[2];
+
+    // Tiny parameters: two cheap benchmarks, minimal measuring time.
+    const std::string cmd =
+        "\"" + binary +
+        "\" --benchmark_filter='BM_SelectInline|BM_ObliviousArgmax' "
+        "--benchmark_min_time=0.001 --json \"" +
+        out_path + "\"";
+    const int rc = std::system(cmd.c_str());
+    Check(rc == 0, "micro_primitives exits 0 (got " +
+                       std::to_string(rc) + ")");
+
+    std::ifstream in(out_path);
+    Check(in.good(), "JSON output file exists: " + out_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    Check(!text.empty(), "JSON output is non-empty");
+
+    secemb::bench::JsonValue doc;
+    std::string error;
+    const bool parsed = secemb::bench::JsonParse(text, &doc, &error);
+    Check(parsed, "JSON parses (" + error + ")");
+    if (parsed) {
+        const auto* schema = doc.Find("schema");
+        Check(schema != nullptr && schema->IsString() &&
+                  schema->str_v == "secemb-bench-v1",
+              "schema == secemb-bench-v1");
+        const auto* bench = doc.Find("bench");
+        Check(bench != nullptr && bench->IsString() &&
+                  !bench->str_v.empty(),
+              "bench name present");
+        const auto* results = doc.Find("results");
+        Check(results != nullptr && results->IsArray() &&
+                  !results->array_v.empty(),
+              "results is a non-empty array");
+        if (results != nullptr && results->IsArray()) {
+            for (size_t i = 0; i < results->array_v.size(); ++i) {
+                const auto& r = results->array_v[i];
+                const std::string where =
+                    "results[" + std::to_string(i) + "]";
+                const auto* name = r.Find("name");
+                Check(name != nullptr && name->IsString() &&
+                          !name->str_v.empty(),
+                      where + " has a name");
+                const auto* params = r.Find("params");
+                Check(params != nullptr && params->IsObject(),
+                      where + " has params object");
+                const auto* counters = r.Find("counters");
+                Check(counters != nullptr && counters->IsObject(),
+                      where + " has counters object");
+                const auto* lat = r.Find("latency_ns");
+                Check(lat != nullptr && lat->IsObject(),
+                      where + " has latency_ns object");
+                if (lat != nullptr && lat->IsObject()) {
+                    for (const char* key :
+                         {"count", "mean", "min", "max", "p50", "p95",
+                          "p99"}) {
+                        CheckNonNegativeNumber(*lat, key,
+                                               where + ".latency_ns");
+                    }
+                }
+            }
+        }
+    }
+
+    if (failures != 0) {
+        std::fprintf(stderr, "bench_smoke: %d check(s) failed\n",
+                     failures);
+        return 1;
+    }
+    std::printf("bench_smoke: JSON schema valid (%zu bytes)\n",
+                text.size());
+    return 0;
+}

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "bench_util/bench_util.h"
+#include "bench_util/json.h"
 
 namespace secemb::bench {
 namespace {
@@ -69,6 +74,140 @@ TEST(ArgsTest, TrailingFlagWithoutValueUsesDefault)
     const char* argv[] = {"prog", "--scale"};
     Args args(2, const_cast<char**>(argv));
     EXPECT_EQ(args.GetInt("--scale", 42), 42);
+}
+
+TEST(ArgsTest, GetStringReturnsValueOrDefault)
+{
+    const char* argv[] = {"prog", "--json", "out.json", "--name",
+                          "linear scan", "--tail"};
+    Args args(6, const_cast<char**>(argv));
+    EXPECT_EQ(args.GetString("--json"), "out.json");
+    EXPECT_EQ(args.GetString("--name", "x"), "linear scan");
+    EXPECT_EQ(args.GetString("--missing"), "");
+    EXPECT_EQ(args.GetString("--missing", "fallback"), "fallback");
+    // A flag in last position has no value to return.
+    EXPECT_EQ(args.GetString("--tail", "dflt"), "dflt");
+}
+
+TEST(TimeCallSamplesTest, ReturnsOneSamplePerRep)
+{
+    int calls = 0;
+    const std::vector<double> samples =
+        TimeCallSamplesNs([&] { ++calls; }, /*warmup=*/2, /*reps=*/5);
+    EXPECT_EQ(calls, 7);
+    ASSERT_EQ(samples.size(), 5u);
+    for (const double s : samples) EXPECT_GE(s, 0.0);
+}
+
+// --- JSON plumbing ---------------------------------------------------------
+
+TEST(JsonWriterTest, NestedStructuresAndEscaping)
+{
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("s").Value(std::string_view("a\"b\\c\nd"));
+    w.Key("i").Value(static_cast<int64_t>(-3));
+    w.Key("u").Value(static_cast<uint64_t>(7));
+    w.Key("b").Value(true);
+    w.Key("arr").BeginArray().Value(1.5).Value(2.5).EndArray();
+    w.Key("obj").BeginObject().Key("k").Value(false).EndObject();
+    w.EndObject();
+    EXPECT_EQ(w.str(),
+              "{\"s\":\"a\\\"b\\\\c\\nd\",\"i\":-3,\"u\":7,\"b\":true,"
+              "\"arr\":[1.5,2.5],\"obj\":{\"k\":false}}");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("name").Value(std::string_view("scan \"fast\""));
+    w.Key("vals").BeginArray().Value(static_cast<int64_t>(1)).Value(2.25)
+        .EndArray();
+    w.EndObject();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonParse(w.str(), &doc, &error)) << error;
+    const JsonValue* name = doc.Find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->str_v, "scan \"fast\"");
+    const JsonValue* vals = doc.Find("vals");
+    ASSERT_NE(vals, nullptr);
+    ASSERT_EQ(vals->array_v.size(), 2u);
+    EXPECT_DOUBLE_EQ(vals->array_v[0].num_v, 1.0);
+    EXPECT_DOUBLE_EQ(vals->array_v[1].num_v, 2.25);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(JsonParse("{\"a\":}", &doc, &error));
+    EXPECT_FALSE(JsonParse("[1,2", &doc, &error));
+    EXPECT_FALSE(JsonParse("{\"a\":1} trailing", &doc, &error));
+    EXPECT_FALSE(JsonParse("\"unterminated", &doc, &error));
+    EXPECT_FALSE(JsonParse("", &doc, &error));
+}
+
+TEST(LatencyStatsTest, FromSamplesMatchesSortedReference)
+{
+    // 1..100 shuffled: p50 = 50, p95 = 95, p99 = 99 by rank = ceil(p*n).
+    std::vector<double> samples;
+    for (int i = 100; i >= 1; --i) samples.push_back(i);
+    const LatencyStats s = LatencyStats::FromSamples(samples);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.mean_ns, 50.5);
+    EXPECT_DOUBLE_EQ(s.min_ns, 1.0);
+    EXPECT_DOUBLE_EQ(s.max_ns, 100.0);
+    EXPECT_DOUBLE_EQ(s.p50_ns, 50.0);
+    EXPECT_DOUBLE_EQ(s.p95_ns, 95.0);
+    EXPECT_DOUBLE_EQ(s.p99_ns, 99.0);
+}
+
+TEST(LatencyStatsTest, EmptyAndSingleSample)
+{
+    const LatencyStats empty = LatencyStats::FromSamples({});
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_EQ(empty.mean_ns, 0.0);
+
+    const LatencyStats one = LatencyStats::FromSamples({42.0});
+    EXPECT_EQ(one.count, 1u);
+    EXPECT_DOUBLE_EQ(one.p50_ns, 42.0);
+    EXPECT_DOUBLE_EQ(one.p99_ns, 42.0);
+    EXPECT_DOUBLE_EQ(one.min_ns, 42.0);
+    EXPECT_DOUBLE_EQ(one.max_ns, 42.0);
+}
+
+TEST(BenchReportTest, EmitsSchemaStableDocument)
+{
+    BenchReport report("unit_bench");
+    auto& r = report.AddResult("method_a");
+    r.num_params.emplace_back("scale", 10.0);
+    r.str_params.emplace_back("dataset", "kaggle");
+    r.latency = LatencyStats::FromSamples({100.0, 200.0, 300.0});
+    r.counters.emplace_back("scan.rows", 4096u);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonParse(report.ToJson(), &doc, &error)) << error;
+    ASSERT_NE(doc.Find("schema"), nullptr);
+    EXPECT_EQ(doc.Find("schema")->str_v, "secemb-bench-v1");
+    EXPECT_EQ(doc.Find("bench")->str_v, "unit_bench");
+    const JsonValue* results = doc.Find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->array_v.size(), 1u);
+    const JsonValue& res = results->array_v[0];
+    EXPECT_EQ(res.Find("name")->str_v, "method_a");
+    EXPECT_DOUBLE_EQ(res.Find("params")->Find("scale")->num_v, 10.0);
+    EXPECT_EQ(res.Find("params")->Find("dataset")->str_v, "kaggle");
+    const JsonValue* lat = res.Find("latency_ns");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_DOUBLE_EQ(lat->Find("count")->num_v, 3.0);
+    EXPECT_DOUBLE_EQ(lat->Find("mean")->num_v, 200.0);
+    EXPECT_DOUBLE_EQ(lat->Find("p99")->num_v, 300.0);
+    EXPECT_DOUBLE_EQ(res.Find("counters")->Find("scan.rows")->num_v,
+                     4096.0);
 }
 
 }  // namespace

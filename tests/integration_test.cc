@@ -137,10 +137,12 @@ TEST(IntegrationTest, AttackerBeatenByEveryProtectedGenerator)
     }
 }
 
-TEST(IntegrationTest, DheTraceIsEmptyOfTableRegions)
+TEST(IntegrationTest, DheTraceHasNoRowGranularAccesses)
 {
     // DHE's security argument in its simplest form: there is no
-    // table-region access to record at all.
+    // per-row table access to record. The generator reports exactly one
+    // whole-parameter-region read per batch element — the same region,
+    // the same size, whatever the secret id is.
     Rng rng(6);
     auto gen = core::MakeGenerator(core::GenKind::kDheVaried, 100000, 16,
                                    rng);
@@ -149,7 +151,17 @@ TEST(IntegrationTest, DheTraceIsEmptyOfTableRegions)
     Tensor out({1, 16});
     std::vector<int64_t> ids{12345};
     gen->Generate(ids, out);
-    EXPECT_TRUE(rec.trace().empty());
+    ASSERT_EQ(rec.trace().size(), 1u);
+    const sidechannel::MemoryAccess whole_params = rec.trace()[0];
+    EXPECT_GE(whole_params.size,
+              static_cast<uint32_t>(out.size(1) * sizeof(float)));
+
+    // A different secret produces the identical trace.
+    rec.Clear();
+    std::vector<int64_t> other{7};
+    gen->Generate(other, out);
+    ASSERT_EQ(rec.trace().size(), 1u);
+    EXPECT_EQ(rec.trace()[0], whole_params);
 }
 
 TEST(IntegrationTest, LlmSecureGenerationMatchesAcrossProtections)

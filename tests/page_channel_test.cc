@@ -82,6 +82,9 @@ TEST_F(PageAttackTest, LinearScanDefeatsPageChannel)
 
 TEST_F(PageAttackTest, DheHasNoTablePagesAtAll)
 {
+    // DHE has no embedding table, so there are no per-row pages for the
+    // observer to fault on: the only recorded access is one read of the
+    // whole decoder parameter region, identical for every secret.
     Rng rng(3);
     auto gen =
         core::MakeGenerator(core::GenKind::kDheVaried, kRows, kDim, rng);
@@ -90,7 +93,16 @@ TEST_F(PageAttackTest, DheHasNoTablePagesAtAll)
     Tensor out({1, kDim});
     std::vector<int64_t> b{1000};
     gen->Generate(b, out);
-    EXPECT_TRUE(rec.trace().empty());
+    ASSERT_EQ(rec.trace().size(), 1u);
+    const MemoryAccess whole_params = rec.trace()[0];
+    EXPECT_EQ(static_cast<int64_t>(whole_params.size),
+              gen->MemoryFootprintBytes());
+
+    rec.Clear();
+    std::vector<int64_t> other{1};
+    gen->Generate(other, out);
+    ASSERT_EQ(rec.trace().size(), 1u);
+    EXPECT_EQ(rec.trace()[0], whole_params);
 }
 
 TEST_F(PageAttackTest, ChannelsComposePageThenCache)

@@ -94,6 +94,87 @@ TEST(ContentionModelTest, MixedLatencyInterpolates)
     EXPECT_GT(all_scan, all_dhe_neighbours);
 }
 
+TEST(ContentionModelTest, MixedLatencyDegeneratesToHomogeneous)
+{
+    // A mixed fleet with only one technique present must agree exactly
+    // with the homogeneous model.
+    ContentionModel m;
+    for (int copies : {1, 4, 24, 48}) {
+        EXPECT_DOUBLE_EQ(m.MixedLatency(1e6, copies, 0, true),
+                         m.Latency(1e6, copies, true))
+            << "all-scan, copies=" << copies;
+        EXPECT_DOUBLE_EQ(m.MixedLatency(1e6, 0, copies, false),
+                         m.Latency(1e6, copies, false))
+            << "all-DHE, copies=" << copies;
+    }
+}
+
+TEST(ContentionModelTest, MixedLatencySingleCopyIsBaseline)
+{
+    ContentionModel m;
+    EXPECT_DOUBLE_EQ(m.MixedLatency(1e6, 1, 0, true), 1e6);
+    EXPECT_DOUBLE_EQ(m.MixedLatency(1e6, 0, 1, false), 1e6);
+}
+
+TEST(ContentionModelTest, MixedLatencyMonotoneInScanNeighbours)
+{
+    // Adding memory-bound neighbours can only slow a model down, and
+    // swapping a DHE neighbour for a scan neighbour slows it further
+    // (scan_interference > dhe_interference).
+    ContentionModel m;
+    double prev = 0.0;
+    for (int scan_copies = 1; scan_copies <= 32; scan_copies *= 2) {
+        const double l = m.MixedLatency(1e6, scan_copies, 4, true);
+        EXPECT_GT(l, prev) << "scan_copies=" << scan_copies;
+        prev = l;
+    }
+    EXPECT_GT(m.MixedLatency(1e6, 8, 4, true),
+              m.MixedLatency(1e6, 4, 8, true));
+}
+
+TEST(ProfilerTest, ThresholdsDeterministicUnderFixedSeed)
+{
+    // ProfileThresholds is documented "deterministic given rng's seed".
+    // Wall-clock latencies are inherently noisy, so determinism here means
+    // (a) the RNG stream is consumed identically — a second run from the
+    // same seed leaves the generator in the same state — and (b) the
+    // result structure (points, threshold keys, threshold bounds) is
+    // identical across runs.
+    ProfileConfig cfg;
+    cfg.batch_sizes = {8};
+    cfg.thread_counts = {1};
+    cfg.table_sizes = {64, 512};
+    cfg.dim = 16;
+    cfg.reps = 1;
+
+    Rng rng_a(77), rng_b(77);
+    const ProfileResult a = ProfileThresholds(cfg, rng_a);
+    const ProfileResult b = ProfileThresholds(cfg, rng_b);
+
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(rng_a.Next(), rng_b.Next()) << "draw " << i;
+    }
+
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].batch_size, b.points[i].batch_size);
+        EXPECT_EQ(a.points[i].nthreads, b.points[i].nthreads);
+        EXPECT_EQ(a.points[i].table_size, b.points[i].table_size);
+    }
+    ASSERT_EQ(a.thresholds.entries().size(),
+              b.thresholds.entries().size());
+    for (size_t i = 0; i < a.thresholds.entries().size(); ++i) {
+        const auto& ea = a.thresholds.entries()[i];
+        const auto& eb = b.thresholds.entries()[i];
+        EXPECT_EQ(ea.batch_size, eb.batch_size);
+        EXPECT_EQ(ea.nthreads, eb.nthreads);
+        EXPECT_GE(ea.table_size_threshold, 64);
+        EXPECT_LE(ea.table_size_threshold, 512);
+        EXPECT_GE(eb.table_size_threshold, 64);
+        EXPECT_LE(eb.table_size_threshold, 512);
+    }
+}
+
 }  // namespace
 }  // namespace secemb::profile
 
