@@ -8,22 +8,193 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util/json.h"
 #include "dhe/hashing.h"
 #include "oblivious/ct_ops.h"
 #include "oblivious/scan.h"
+#include "oblivious/vector_scan.h"
 #include "oram/crypto.h"
 #include "oram/tree_oram.h"
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 
 namespace secemb {
 namespace {
+
+/**
+ * The pre-pool ParallelFor: spawn-and-join fresh std::threads per call.
+ * Kept here as the baseline for the pool-vs-spawn comparison mode — the
+ * per-region dispatch cost every Fig. 6 / Fig. 12 data point used to pay.
+ */
+void
+SpawnParallelFor(int64_t n, int nthreads,
+                 const std::function<void(int64_t, int64_t)>& fn)
+{
+    if (n <= 0) return;
+    const int64_t workers =
+        std::max<int64_t>(1, std::min<int64_t>(nthreads, n));
+    if (workers == 1) {
+        fn(0, n);
+        return;
+    }
+    const int64_t chunk = (n + workers - 1) / workers;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int64_t w = 0; w < workers; ++w) {
+        const int64_t begin = w * chunk;
+        const int64_t end = std::min(n, begin + chunk);
+        if (begin >= end) break;
+        threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    for (auto& t : threads) t.join();
+}
+
+constexpr int kCmpThreads = 4;
+
+// The pool-vs-spawn comparisons are registered with UseRealTime():
+// the spawn caller sleeps through its region (joins) while the pool
+// caller computes, so CPU-time iteration tuning would hand the two
+// sides wildly different measurement windows. Wall clock is the
+// quantity being compared anyway.
+
+void
+BM_ParallelDispatchPool(benchmark::State& state)
+{
+    // Empty-body region: isolates wake/dispatch overhead of the pool.
+    for (auto _ : state) {
+        ParallelFor(kCmpThreads, kCmpThreads, [](int64_t b, int64_t) {
+            benchmark::DoNotOptimize(b);
+        });
+    }
+}
+BENCHMARK(BM_ParallelDispatchPool)->UseRealTime();
+
+void
+BM_ParallelDispatchSpawn(benchmark::State& state)
+{
+    for (auto _ : state) {
+        SpawnParallelFor(kCmpThreads, kCmpThreads,
+                         [](int64_t b, int64_t) {
+                             benchmark::DoNotOptimize(b);
+                         });
+    }
+}
+BENCHMARK(BM_ParallelDispatchSpawn)->UseRealTime();
+
+/** Shared body for the batch linear-scan pool-vs-spawn comparison. */
+template <typename ParallelImpl>
+void
+RunBatchScan(benchmark::State& state, ParallelImpl&& parallel_for)
+{
+    const int64_t batch = state.range(0), rows = 1024, cols = 64;
+    Rng rng(11);
+    const Tensor table = Tensor::Randn({rows, cols}, rng);
+    std::vector<int64_t> ids(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i) {
+        ids[static_cast<size_t>(i)] = (i * 131) % rows;
+    }
+    std::vector<float> out(static_cast<size_t>(batch * cols));
+    for (auto _ : state) {
+        parallel_for(batch, kCmpThreads, [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+                oblivious::LinearScanLookupVec(
+                    table.flat(), rows, cols,
+                    ids[static_cast<size_t>(i)],
+                    {out.data() + i * cols, static_cast<size_t>(cols)});
+            }
+        });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * batch * rows * cols * 4);
+}
+
+void
+BM_BatchLinearScanPool(benchmark::State& state)
+{
+    RunBatchScan(state, [](int64_t n, int nt, const auto& fn) {
+        ParallelFor(n, nt, fn);
+    });
+}
+BENCHMARK(BM_BatchLinearScanPool)->Arg(32)->Arg(128)->UseRealTime();
+
+void
+BM_BatchLinearScanSpawn(benchmark::State& state)
+{
+    RunBatchScan(state, [](int64_t n, int nt, const auto& fn) {
+        SpawnParallelFor(n, nt, fn);
+    });
+}
+BENCHMARK(BM_BatchLinearScanSpawn)->Arg(32)->Arg(128)->UseRealTime();
+
+/**
+ * GEMM row-range kernel, deliberately out-of-line and shared: if it were
+ * inlined into each benchmark's template instantiation, the pool and
+ * spawn sides would execute *different copies* of the hot loop and the
+ * comparison would measure code-placement luck instead of dispatch cost.
+ */
+__attribute__((noinline)) void
+GemmRowRange(const float* ap, const float* bp, float* cp, int64_t k,
+             int64_t n, int64_t rb, int64_t re)
+{
+    for (int64_t i = rb; i < re; ++i) {
+        float* crow = cp + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+        const float* arow = ap + i * k;
+        for (int64_t p = 0; p < k; ++p) {
+            const float aval = arow[p];
+            const float* brow = bp + p * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+    }
+}
+
+template <typename ParallelImpl>
+void
+RunGemmRows(benchmark::State& state, ParallelImpl&& parallel_for)
+{
+    const int64_t m = state.range(0), k = 256, n = 256;
+    Rng rng(12);
+    const Tensor a = Tensor::Randn({m, k}, rng);
+    const Tensor b = Tensor::Randn({k, n}, rng);
+    Tensor c({m, n});
+    const float* ap = a.data();
+    const float* bp = b.data();
+    float* cp = c.data();
+    for (auto _ : state) {
+        parallel_for(m, kCmpThreads, [&](int64_t rb, int64_t re) {
+            GemmRowRange(ap, bp, cp, k, n, rb, re);
+        });
+        benchmark::DoNotOptimize(cp);
+    }
+}
+
+void
+BM_GemmPool(benchmark::State& state)
+{
+    RunGemmRows(state, [](int64_t n, int nt, const auto& fn) {
+        ParallelFor(n, nt, fn);
+    });
+}
+BENCHMARK(BM_GemmPool)->Arg(32)->Arg(128)->UseRealTime();
+
+void
+BM_GemmSpawn(benchmark::State& state)
+{
+    RunGemmRows(state, [](int64_t n, int nt, const auto& fn) {
+        SpawnParallelFor(n, nt, fn);
+    });
+}
+BENCHMARK(BM_GemmSpawn)->Arg(32)->Arg(128)->UseRealTime();
 
 void
 BM_SelectInline(benchmark::State& state)

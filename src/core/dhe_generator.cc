@@ -15,24 +15,41 @@ DheGenerator::DheGenerator(std::shared_ptr<dhe::DheEmbedding> dhe,
         static_cast<uint64_t>(dhe_->ParamBytes()));
 }
 
+namespace {
+
+/// Batch rows forwarded per decoder pass. Bounds activation memory for
+/// huge batches (mirroring DheEmbedding::ToTable); within a pass the
+/// batch parallelism is carried by the pool-backed GEMMs inside the FC
+/// decoder (rows of the GEMM = batch elements of the chunk).
+constexpr int64_t kDheForwardChunk = 4096;
+
+}  // namespace
+
 void
 DheGenerator::Generate(std::span<const int64_t> indices, Tensor& out)
 {
-    assert(out.size(0) == static_cast<int64_t>(indices.size()) &&
-           out.size(1) == dim());
+    const int64_t n = static_cast<int64_t>(indices.size());
+    const int64_t d = dim();
+    assert(out.size(0) == n && out.size(1) == d);
     // DHE touches its entire parameter set for every batch element,
     // whatever the ids are: one whole-region access per element at
     // whole-table granularity (matching LinearScanTable's reporting).
+    // The chunking below is a function of the public batch size only, so
+    // recording per element up front equals any per-chunk ordering.
     if (recorder_) {
         const uint32_t bytes = static_cast<uint32_t>(
             std::min<int64_t>(dhe_->ParamBytes(), UINT32_MAX));
-        for (size_t i = 0; i < indices.size(); ++i) {
+        for (int64_t i = 0; i < n; ++i) {
             recorder_->Record(trace_base_, bytes, false);
         }
     }
-    const Tensor result = dhe_->Forward(indices);
-    std::memcpy(out.data(), result.data(),
-                static_cast<size_t>(result.numel()) * sizeof(float));
+    for (int64_t begin = 0; begin < n; begin += kDheForwardChunk) {
+        const int64_t end = std::min(n, begin + kDheForwardChunk);
+        const Tensor result = dhe_->Forward(
+            {indices.data() + begin, static_cast<size_t>(end - begin)});
+        std::memcpy(out.data() + begin * d, result.data(),
+                    static_cast<size_t>(result.numel()) * sizeof(float));
+    }
 }
 
 }  // namespace secemb::core

@@ -10,6 +10,29 @@
 
 namespace secemb::core {
 
+void
+ThresholdTable::Add(const ThresholdEntry& entry)
+{
+    // Lookup computes log2(batch/entry.batch) and log2(threads/
+    // entry.threads); a non-positive stored value makes both distances
+    // NaN, and NaN never compares < best_dist, so every lookup would
+    // silently fall through to the fallback. Reject at insertion.
+    if (entry.batch_size <= 0 || entry.nthreads <= 0) {
+        throw std::invalid_argument(
+            "ThresholdTable::Add: batch_size and nthreads must be "
+            "positive (got batch_size=" +
+            std::to_string(entry.batch_size) +
+            ", nthreads=" + std::to_string(entry.nthreads) + ")");
+    }
+    if (entry.table_size_threshold < 0) {
+        throw std::invalid_argument(
+            "ThresholdTable::Add: table_size_threshold must be "
+            "non-negative (got " +
+            std::to_string(entry.table_size_threshold) + ")");
+    }
+    entries_.push_back(entry);
+}
+
 int64_t
 ThresholdTable::Lookup(int batch_size, int nthreads, int64_t fallback) const
 {
@@ -62,8 +85,19 @@ LoadThresholds(const std::string& path)
     }
     ThresholdTable table;
     ThresholdEntry e;
+    int64_t row = 0;
     while (in >> e.batch_size >> e.nthreads >> e.table_size_threshold) {
-        table.Add(e);
+        ++row;
+        try {
+            table.Add(e);
+        } catch (const std::invalid_argument& bad) {
+            // A corrupt persisted database must fail loudly here, not as
+            // NaN-distance lookups that silently return the fallback.
+            throw std::runtime_error("LoadThresholds: invalid entry at "
+                                     "row " +
+                                     std::to_string(row) + " of " + path +
+                                     ": " + bad.what());
+        }
     }
     if (!in.eof()) {
         throw std::runtime_error("LoadThresholds: parse error in " +

@@ -46,7 +46,14 @@ struct ThresholdEntry
 class ThresholdTable
 {
   public:
-    void Add(const ThresholdEntry& entry) { entries_.push_back(entry); }
+    /**
+     * Append a profiled entry. Throws std::invalid_argument unless
+     * batch_size > 0, nthreads > 0, and table_size_threshold >= 0:
+     * Lookup takes log2 of configuration ratios, and a non-positive
+     * entry would yield NaN distances that never compare less-than —
+     * silently disabling the whole table.
+     */
+    void Add(const ThresholdEntry& entry);
 
     /**
      * Threshold for the given configuration; picks the nearest profiled

@@ -69,21 +69,30 @@ LinearScanTable::Generate(std::span<const int64_t> indices, Tensor& out)
     TELEMETRY_SPAN("scan.generate");
     TELEMETRY_SCOPED_LATENCY("scan.generate.ns");
 
-    // Every query touches the whole table, regardless of its index.
-    if (recorder_) {
-        for (int64_t i = 0; i < n; ++i) {
-            recorder_->Record(
-                trace_base_,
-                static_cast<uint32_t>(table_.SizeBytes()), false);
-        }
+    if (recorder_ == nullptr) {
+        // Untraced serving path: batch-parallel vectorised scan.
+        oblivious::LinearScanLookupBatch(
+            table_.flat(), rows, d, indices,
+            {out.data(), static_cast<size_t>(n * d)}, nthreads_);
+        return;
     }
+    // Traced path: every query touches the whole table regardless of its
+    // index. Each slot records into its own buffer from whichever worker
+    // processes it; merging in slot order afterwards reproduces the serial
+    // trace exactly, so obliviousness proofs hold under parallelism.
+    sidechannel::SlotTraceRecorders slots(indices.size(), recorder_);
     ParallelFor(n, nthreads_, [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
+            slots.slot(static_cast<size_t>(i))
+                ->Record(trace_base_,
+                         static_cast<uint32_t>(table_.SizeBytes()),
+                         false);
             oblivious::LinearScanLookupVec(
                 table_.flat(), rows, d, indices[static_cast<size_t>(i)],
                 {out.data() + i * d, static_cast<size_t>(d)});
         }
     });
+    slots.MergeInto();
 }
 
 void
@@ -97,20 +106,27 @@ LinearScanTable::GeneratePooled(std::span<const int64_t> indices,
     assert(out.size(0) == n && out.size(1) == d);
     TELEMETRY_SPAN("scan.generate_pooled");
     TELEMETRY_SCOPED_LATENCY("scan.generate.ns");
-    if (recorder_) {
-        for (size_t e = 0; e < indices.size(); ++e) {
-            recorder_->Record(
-                trace_base_,
-                static_cast<uint32_t>(table_.SizeBytes()), false);
-        }
-    }
     // Accumulating scans: one pass over the table per bag element,
     // summing directly into the output row (no per-element buffer).
+    // Trace recording follows the same per-slot merge discipline as
+    // Generate: slot i records one whole-table touch per bag element,
+    // merged in slot order — identical to the serial trace (bag sizes are
+    // public; see EmbeddingGenerator::GeneratePooled).
     out.Fill(0.0f);
+    sidechannel::SlotTraceRecorders slots(static_cast<size_t>(n),
+                                          recorder_);
     ParallelFor(n, nthreads_, [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
+            sidechannel::TraceRecorder* slot_rec =
+                slots.slot(static_cast<size_t>(i));
             for (int64_t e = offsets[static_cast<size_t>(i)];
                  e < offsets[static_cast<size_t>(i) + 1]; ++e) {
+                if (slot_rec != nullptr) {
+                    slot_rec->Record(
+                        trace_base_,
+                        static_cast<uint32_t>(table_.SizeBytes()),
+                        false);
+                }
                 oblivious::LinearScanLookupAccumulate(
                     table_.flat(), rows, d,
                     indices[static_cast<size_t>(e)],
@@ -118,6 +134,7 @@ LinearScanTable::GeneratePooled(std::span<const int64_t> indices,
             }
         }
     });
+    slots.MergeInto();
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include "oblivious/ct_ops.h"
 #include "oblivious/scan.h"
 #include "telemetry/telemetry.h"
+#include "tensor/parallel.h"
 
 namespace secemb::oblivious {
 
@@ -12,10 +13,14 @@ namespace {
 
 #if defined(__GNUC__) || defined(__clang__)
 #define SECEMB_HAVE_VECTOR_EXT 1
-using VecI = int32_t __attribute__((vector_size(32)));
+// may_alias: these vector types view float tensor storage as int32 lanes
+// for bitwise blends; without it that reinterpret_cast is strict-aliasing
+// UB that an LTO/optimisation bump is allowed to miscompile.
+using VecI = int32_t __attribute__((vector_size(32), may_alias));
 // Memory-access view with element alignment only: tensor buffers are not
 // guaranteed 32-byte aligned.
-using VecIU = int32_t __attribute__((vector_size(32), aligned(4)));
+using VecIU =
+    int32_t __attribute__((vector_size(32), aligned(4), may_alias));
 #endif
 
 }  // namespace
@@ -57,6 +62,27 @@ LinearScanLookupVec(std::span<const float> table, int64_t rows,
     }
 #endif
     LinearScanLookup(table, rows, cols, index, out);
+}
+
+void
+LinearScanLookupBatch(std::span<const float> table, int64_t rows,
+                      int64_t cols, std::span<const int64_t> indices,
+                      std::span<float> out, int nthreads)
+{
+    const int64_t n = static_cast<int64_t>(indices.size());
+    assert(static_cast<int64_t>(out.size()) == n * cols);
+    // Fires once per batch with public shape operands; the per-element
+    // scans add their own per-call counts (from whichever worker runs
+    // them — counters are atomics, and counts depend only on n and rows).
+    TELEMETRY_COUNT("oblivious.vscan.batches", 1);
+    ParallelFor(n, nthreads, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+            LinearScanLookupVec(
+                table, rows, cols, indices[static_cast<size_t>(i)],
+                out.subspan(static_cast<size_t>(i * cols),
+                            static_cast<size_t>(cols)));
+        }
+    });
 }
 
 }  // namespace secemb::oblivious

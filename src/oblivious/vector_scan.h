@@ -30,6 +30,18 @@ void LinearScanLookupVec(std::span<const float> table, int64_t rows,
                          int64_t cols, int64_t index,
                          std::span<float> out);
 
+/**
+ * Batch-parallel vectorised scan: for each batch element i, copy row
+ * indices[i] into out[i*cols, (i+1)*cols) while touching every table row.
+ * Elements are distributed over at most `nthreads` ParallelFor
+ * participants; every participant runs the identical full-table scan per
+ * element, so the data-access pattern stays independent of the indices.
+ * out.size() must equal indices.size() * cols.
+ */
+void LinearScanLookupBatch(std::span<const float> table, int64_t rows,
+                           int64_t cols, std::span<const int64_t> indices,
+                           std::span<float> out, int nthreads);
+
 /** True if `cols` takes the SIMD fast path. */
 inline bool
 VecScanEligible(int64_t cols)

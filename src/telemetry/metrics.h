@@ -212,6 +212,16 @@ class Registry
         }                                                                 \
     } while (0)
 
+/** Set process gauge `name` (string literal) to value `v`. */
+#define TELEMETRY_GAUGE_SET(name, v)                                      \
+    do {                                                                  \
+        if (::secemb::telemetry::Enabled()) {                             \
+            static ::secemb::telemetry::Gauge& secemb_telemetry_g =       \
+                ::secemb::telemetry::Registry::Instance().GetGauge(name); \
+            secemb_telemetry_g.Set(static_cast<int64_t>(v));              \
+        }                                                                 \
+    } while (0)
+
 /** Time the rest of the scope into histogram `name` (ns samples). */
 #define TELEMETRY_SCOPED_LATENCY(name)                                    \
     static ::secemb::telemetry::Histogram&                                \
@@ -223,6 +233,7 @@ class Registry
 #else
 #define TELEMETRY_COUNT(name, n) ((void)0)
 #define TELEMETRY_HIST(name, v) ((void)0)
+#define TELEMETRY_GAUGE_SET(name, v) ((void)0)
 #define TELEMETRY_SCOPED_LATENCY(name) ((void)0)
 #endif
 

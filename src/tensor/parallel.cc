@@ -1,10 +1,245 @@
 #include "tensor/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace secemb {
+
+namespace {
+
+/// Set for every thread (caller or pool worker) while it executes region
+/// chunks; nested ParallelFor calls observe it and run inline.
+thread_local bool tls_in_region = false;
+
+/// Backstop against pathological nthreads requests; dynamic chunk claiming
+/// means a region still completes when capped (the caller and whatever
+/// workers exist drain the remaining chunks).
+constexpr int kMaxPoolThreads = 256;
+
+/**
+ * Persistent worker pool. Workers are spawned lazily (only as many as the
+ * largest nthreads seen so far, minus the caller), parked on a condition
+ * variable between regions, and woken by a generation bump per region.
+ *
+ * One region runs at a time (region_mu_): per-call thread caps stay honest
+ * and the region descriptor can live in the pool rather than being
+ * allocated per call.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool&
+    Instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    void
+    Run(int64_t n, int64_t workers,
+        const std::function<void(int64_t, int64_t)>& fn)
+    {
+        // Serialise regions; held until every joined helper has quiesced,
+        // so the next region can safely reuse the task descriptor.
+        std::unique_lock<std::mutex> region_lock(region_mu_);
+
+        const int helpers_wanted = static_cast<int>(workers) - 1;
+        EnsureWorkers(helpers_wanted);
+
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            task_.fn = &fn;
+            task_.n = n;
+            task_.chunk = (n + workers - 1) / workers;
+            task_.nchunks = (n + task_.chunk - 1) / task_.chunk;
+            task_.next.store(0, std::memory_order_relaxed);
+            task_.failed.store(false, std::memory_order_relaxed);
+            task_.error = nullptr;
+            task_.helpers_wanted =
+                std::min<int>(helpers_wanted,
+                              static_cast<int>(threads_.size()));
+            task_.helpers_joined = 0;
+            task_.helpers_done = 0;
+            task_.closed = false;
+#if SECEMB_TELEMETRY_ENABLED
+            task_.dispatch_ns = telemetry::NowNs();
+#endif
+            ++generation_;
+            ++regions_;
+        }
+        TELEMETRY_COUNT("pool.regions", 1);
+        TELEMETRY_COUNT("pool.chunks", task_.nchunks);
+        TELEMETRY_GAUGE_SET("pool.active_workers", workers);
+        cv_.notify_all();
+
+        // The caller is participant #0: it claims chunks like any worker,
+        // so a region completes even if every wake is slow or the pool is
+        // capped below the request.
+        tls_in_region = true;
+        RunChunks();
+        tls_in_region = false;
+
+        std::exception_ptr error;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            task_.closed = true;  // no further helpers may join
+            done_cv_.wait(lk, [this] {
+                return task_.helpers_done == task_.helpers_joined;
+            });
+            error = task_.error;
+            task_.fn = nullptr;
+        }
+        TELEMETRY_GAUGE_SET("pool.active_workers", 0);
+        if (error) std::rethrow_exception(error);
+    }
+
+    ThreadPoolStats
+    Stats()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ThreadPoolStats s;
+        s.threads = static_cast<int>(threads_.size());
+        s.regions = regions_;
+        s.helper_joins = helper_joins_;
+        return s;
+    }
+
+  private:
+    /** One parallel region; reused across regions (one at a time). */
+    struct Task
+    {
+        const std::function<void(int64_t, int64_t)>* fn = nullptr;
+        int64_t n = 0;
+        int64_t chunk = 1;
+        int64_t nchunks = 0;
+        std::atomic<int64_t> next{0};   ///< next chunk index to claim
+        std::atomic<bool> failed{false};  ///< stop claiming after a throw
+        std::exception_ptr error;       ///< first exception (guarded by mu_)
+        int helpers_wanted = 0;         ///< max pool helpers for this region
+        int helpers_joined = 0;         ///< guarded by mu_
+        int helpers_done = 0;           ///< guarded by mu_
+        bool closed = false;            ///< joins refused once caller drains
+        uint64_t dispatch_ns = 0;       ///< wake-latency reference point
+    };
+
+    ThreadPool() = default;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            shutdown_ = true;
+        }
+        cv_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    void
+    EnsureWorkers(int wanted)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        const int target = std::min(wanted, kMaxPoolThreads);
+        while (static_cast<int>(threads_.size()) < target) {
+            try {
+                threads_.emplace_back([this] { WorkerLoop(); });
+            } catch (...) {
+                // Resource exhaustion: run with the workers we have. The
+                // already-spawned threads stay owned and joinable, and
+                // chunk claiming completes any region with fewer helpers.
+                break;
+            }
+        }
+        TELEMETRY_GAUGE_SET("pool.threads", threads_.size());
+    }
+
+    /**
+     * Claim and execute chunks until none remain (or a participant
+     * failed). Chunk ranges are a pure function of the chunk index, so the
+     * work partition is deterministic however claims interleave.
+     */
+    void
+    RunChunks()
+    {
+        for (;;) {
+            if (task_.failed.load(std::memory_order_relaxed)) break;
+            const int64_t c =
+                task_.next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= task_.nchunks) break;
+            const int64_t begin = c * task_.chunk;
+            const int64_t end = std::min(task_.n, begin + task_.chunk);
+            try {
+                (*task_.fn)(begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (!task_.error) task_.error = std::current_exception();
+                task_.failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    void
+    WorkerLoop()
+    {
+        uint64_t seen_gen = 0;
+        for (;;) {
+            bool joined = false;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_.wait(lk, [&] {
+                    return shutdown_ || generation_ != seen_gen;
+                });
+                if (shutdown_) return;
+                seen_gen = generation_;
+                if (!task_.closed &&
+                    task_.helpers_joined < task_.helpers_wanted) {
+                    ++task_.helpers_joined;
+                    ++helper_joins_;
+                    joined = true;
+                }
+            }
+            if (!joined) continue;
+
+#if SECEMB_TELEMETRY_ENABLED
+            // Wake latency: dispatch (generation bump) to this worker
+            // starting on the region. Public timing of public control
+            // flow — never secret-dependent.
+            TELEMETRY_HIST("pool.wake.ns",
+                           telemetry::NowNs() - task_.dispatch_ns);
+#endif
+            tls_in_region = true;
+            RunChunks();
+            tls_in_region = false;
+
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++task_.helpers_done;
+            }
+            done_cv_.notify_all();
+        }
+    }
+
+    std::mutex region_mu_;  ///< one region at a time
+
+    std::mutex mu_;  ///< guards everything below plus Task bookkeeping
+    std::condition_variable cv_;       ///< workers park here
+    std::condition_variable done_cv_;  ///< caller awaits helper quiesce
+    std::vector<std::thread> threads_;
+    Task task_;
+    uint64_t generation_ = 0;
+    uint64_t regions_ = 0;
+    uint64_t helper_joins_ = 0;
+    bool shutdown_ = false;
+};
+
+}  // namespace
 
 void
 ParallelFor(int64_t n, int nthreads,
@@ -13,20 +248,40 @@ ParallelFor(int64_t n, int nthreads,
     if (n <= 0) return;
     const int64_t workers =
         std::max<int64_t>(1, std::min<int64_t>(nthreads, n));
-    if (workers == 1) {
+    if (workers == 1 || tls_in_region) {
+        // Inline path: single-threaded request, tiny n, or a nested call
+        // from inside another region (running it on the pool would
+        // deadlock on region serialisation).
         fn(0, n);
         return;
     }
-    const int64_t chunk = (n + workers - 1) / workers;
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(workers));
-    for (int64_t w = 0; w < workers; ++w) {
-        const int64_t begin = w * chunk;
-        const int64_t end = std::min(n, begin + chunk);
-        if (begin >= end) break;
-        threads.emplace_back([&fn, begin, end] { fn(begin, end); });
-    }
-    for (auto& t : threads) t.join();
+    ThreadPool::Instance().Run(n, workers, fn);
+}
+
+int
+DefaultNumThreads()
+{
+    static const int cached = [] {
+        if (const char* env = std::getenv("SECEMB_THREADS")) {
+            const int v = std::atoi(env);
+            if (v > 0) return v;
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }();
+    return cached;
+}
+
+bool
+InParallelRegion()
+{
+    return tls_in_region;
+}
+
+ThreadPoolStats
+GetThreadPoolStats()
+{
+    return ThreadPool::Instance().Stats();
 }
 
 }  // namespace secemb

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "oblivious/ct_ops.h"
 #include "oblivious/scan.h"
+#include "oblivious/vector_scan.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 
@@ -156,6 +159,79 @@ TEST(ScanTest, ObliviousReadWriteU64)
     ObliviousWriteU64(v, 1, 99);
     EXPECT_EQ(v, (std::vector<uint64_t>{10, 99, 30, 40}));
     EXPECT_EQ(ObliviousReadU64(v, 1), 99u);
+}
+
+TEST(VectorScanTest, MatchesScalarOnAlignedBuffers)
+{
+    const int64_t rows = 37, cols = 16;  // cols % kScanLanes == 0
+    Rng rng(7);
+    const Tensor table = Tensor::Randn({rows, cols}, rng);
+    std::vector<float> got(static_cast<size_t>(cols));
+    std::vector<float> want(static_cast<size_t>(cols));
+    for (int64_t idx : {int64_t{0}, int64_t{17}, rows - 1}) {
+        LinearScanLookupVec(table.flat(), rows, cols, idx, got);
+        LinearScanLookup(table.flat(), rows, cols, idx, want);
+        EXPECT_EQ(got, want) << "idx=" << idx;
+    }
+}
+
+TEST(VectorScanTest, MisalignedBufferMatchesScalar)
+{
+    // The SIMD path views float storage as int32 vector lanes; buffers
+    // are only guaranteed element (4-byte) alignment, never 32-byte. Run
+    // the vector scan on deliberately 4-byte-offset table and output
+    // buffers (odd float offset from a vector allocation) and require
+    // bit-identical results with the scalar path — this is the
+    // regression surface of the strict-aliasing/may_alias fix.
+    const int64_t rows = 33, cols = 24;  // vec-eligible width
+    Rng rng(8);
+    const Tensor src = Tensor::Randn({rows, cols}, rng);
+
+    std::vector<float> table_buf(static_cast<size_t>(rows * cols) + 1);
+    std::copy(src.data(), src.data() + src.numel(),
+              table_buf.data() + 1);
+    const std::span<const float> table{table_buf.data() + 1,
+                                       static_cast<size_t>(rows * cols)};
+    ASSERT_NE(reinterpret_cast<uintptr_t>(table.data()) % 32, 0u);
+
+    std::vector<float> out_buf(static_cast<size_t>(cols) + 1);
+    const std::span<float> out{out_buf.data() + 1,
+                               static_cast<size_t>(cols)};
+    std::vector<float> want(static_cast<size_t>(cols));
+    for (int64_t idx = 0; idx < rows; ++idx) {
+        LinearScanLookupVec(table, rows, cols, idx, out);
+        LinearScanLookup(table, rows, cols, idx, want);
+        for (int64_t c = 0; c < cols; ++c) {
+            EXPECT_EQ(out[static_cast<size_t>(c)],
+                      want[static_cast<size_t>(c)])
+                << "idx=" << idx << " col=" << c;
+        }
+    }
+}
+
+TEST(VectorScanTest, BatchParallelMatchesPerElement)
+{
+    const int64_t rows = 64, cols = 16, batch = 33;
+    Rng rng(9);
+    const Tensor table = Tensor::Randn({rows, cols}, rng);
+    std::vector<int64_t> ids(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i) {
+        ids[static_cast<size_t>(i)] = (i * 31) % rows;
+    }
+    std::vector<float> got(static_cast<size_t>(batch * cols));
+    LinearScanLookupBatch(table.flat(), rows, cols, ids, got,
+                          /*nthreads=*/4);
+
+    std::vector<float> want(static_cast<size_t>(cols));
+    for (int64_t i = 0; i < batch; ++i) {
+        LinearScanLookup(table.flat(), rows, cols,
+                         ids[static_cast<size_t>(i)], want);
+        for (int64_t c = 0; c < cols; ++c) {
+            EXPECT_EQ(got[static_cast<size_t>(i * cols + c)],
+                      want[static_cast<size_t>(c)])
+                << "i=" << i << " c=" << c;
+        }
+    }
 }
 
 }  // namespace

@@ -403,6 +403,9 @@ static_assert(std::string_view(SECEMB_TELEMETRY_TEST_STR(
                   TELEMETRY_HIST("h", 1))) == "((void)0)",
               "TELEMETRY_HIST must compile out to a no-op");
 static_assert(std::string_view(SECEMB_TELEMETRY_TEST_STR(
+                  TELEMETRY_GAUGE_SET("g", 1))) == "((void)0)",
+              "TELEMETRY_GAUGE_SET must compile out to a no-op");
+static_assert(std::string_view(SECEMB_TELEMETRY_TEST_STR(
                   TELEMETRY_SCOPED_LATENCY("l"))) == "((void)0)",
               "TELEMETRY_SCOPED_LATENCY must compile out to a no-op");
 
@@ -472,6 +475,79 @@ TEST(ObliviousInstrumentationTest, LinearScanTraceIdenticalAcrossSecrets)
     gen.set_recorder(&rec_b);
     const std::vector<int64_t> ids_b{63, 47, 5, 21};
     gen.Generate(ids_b, out);
+    gen.set_recorder(nullptr);
+
+    const auto report =
+        sidechannel::CompareTraces(rec_a.trace(), rec_b.trace());
+    EXPECT_TRUE(report.identical) << report.detail;
+}
+
+TEST(ObliviousInstrumentationTest,
+     ParallelScanTraceIdenticalOnOffTelemetry)
+{
+    // Multi-threaded batch scan: per-slot trace buffers are merged in
+    // slot order after the region, so the recorded trace must match the
+    // serial one bit-for-bit — with telemetry on or off.
+    Rng rng(55);
+    core::LinearScanTable gen(Tensor::Randn({128, 8}, rng));
+    gen.set_nthreads(4);
+    const std::vector<int64_t> ids{5, 90, 17, 64, 3, 127, 44, 71};
+    Tensor out({8, 8});
+    ExpectTraceUnaffectedByTelemetry(gen,
+                                     [&] { gen.Generate(ids, out); });
+}
+
+TEST(ObliviousInstrumentationTest,
+     ParallelScanTraceIdenticalAcrossSecretsAndSchedules)
+{
+    // Input-independence under parallelism: two distinct secret index
+    // sets, generated with different thread counts, must still produce
+    // bit-identical traces (and match the single-threaded trace).
+    Rng rng(56);
+    core::LinearScanTable gen(Tensor::Randn({128, 8}, rng));
+    telemetry::SetEnabled(true);
+    Tensor out({8, 8});
+
+    sidechannel::TraceRecorder rec_serial, rec_a, rec_b;
+    const std::vector<int64_t> ids_a{0, 1, 2, 3, 4, 5, 6, 7};
+    const std::vector<int64_t> ids_b{127, 64, 3, 99, 21, 58, 110, 14};
+
+    gen.set_nthreads(1);
+    gen.set_recorder(&rec_serial);
+    gen.Generate(ids_a, out);
+
+    gen.set_nthreads(4);
+    gen.set_recorder(&rec_a);
+    gen.Generate(ids_a, out);
+    gen.set_recorder(&rec_b);
+    gen.Generate(ids_b, out);
+    gen.set_recorder(nullptr);
+
+    const auto across_secrets =
+        sidechannel::CompareTraces(rec_a.trace(), rec_b.trace());
+    EXPECT_TRUE(across_secrets.identical) << across_secrets.detail;
+    const auto across_schedules =
+        sidechannel::CompareTraces(rec_serial.trace(), rec_a.trace());
+    EXPECT_TRUE(across_schedules.identical) << across_schedules.detail;
+}
+
+TEST(ObliviousInstrumentationTest,
+     ParallelPooledScanTraceIdenticalAcrossSecrets)
+{
+    Rng rng(57);
+    core::LinearScanTable gen(Tensor::Randn({64, 8}, rng));
+    gen.set_nthreads(4);
+    telemetry::SetEnabled(true);
+    Tensor out({3, 8});
+    const std::vector<int64_t> offsets{0, 2, 5, 8};
+
+    sidechannel::TraceRecorder rec_a, rec_b;
+    gen.set_recorder(&rec_a);
+    const std::vector<int64_t> ids_a{0, 1, 2, 3, 4, 5, 6, 7};
+    gen.GeneratePooled(ids_a, offsets, out);
+    gen.set_recorder(&rec_b);
+    const std::vector<int64_t> ids_b{63, 47, 5, 21, 9, 33, 60, 2};
+    gen.GeneratePooled(ids_b, offsets, out);
     gen.set_recorder(nullptr);
 
     const auto report =

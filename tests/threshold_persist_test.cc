@@ -76,6 +76,57 @@ TEST_F(ThresholdPersistTest, CorruptFileThrows)
     EXPECT_THROW(LoadThresholds(path), std::runtime_error);
 }
 
+TEST(ThresholdTableTest, AddRejectsNonPositiveConfigurations)
+{
+    // Regression: entries with batch_size <= 0 or nthreads <= 0 made
+    // Lookup's log2 ratios NaN; NaN never compares < best_dist, so every
+    // lookup silently returned the fallback. Such entries must be
+    // rejected at insertion.
+    ThresholdTable table;
+    EXPECT_THROW(table.Add({0, 1, 4096}), std::invalid_argument);
+    EXPECT_THROW(table.Add({-8, 1, 4096}), std::invalid_argument);
+    EXPECT_THROW(table.Add({32, 0, 4096}), std::invalid_argument);
+    EXPECT_THROW(table.Add({32, -2, 4096}), std::invalid_argument);
+    EXPECT_THROW(table.Add({32, 1, -1}), std::invalid_argument);
+    EXPECT_TRUE(table.empty());
+
+    table.Add({32, 1, 4096});  // valid rows still accepted
+    EXPECT_EQ(table.Lookup(32, 1), 4096);
+}
+
+TEST_F(ThresholdPersistTest, LoadRejectsNonPositiveRowsWithRowContext)
+{
+    // A corrupt persisted database (parseable numbers, invalid values)
+    // must fail the load with a clear error instead of producing a table
+    // whose every lookup silently falls back.
+    const std::string path = Path("badrow.txt");
+    std::ofstream(path) << "32 1 4096\n0 1 1000\n";
+    try {
+        LoadThresholds(path);
+        FAIL() << "expected LoadThresholds to reject the bad row";
+    } catch (const std::runtime_error& err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("row 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("batch_size"), std::string::npos) << msg;
+    }
+
+    const std::string path2 = Path("badrow_threads.txt");
+    std::ofstream(path2) << "32 -4 4096\n";
+    EXPECT_THROW(LoadThresholds(path2), std::runtime_error);
+}
+
+TEST(ThresholdTableTest, LookupNearestAfterValidation)
+{
+    // With validation in place, nearest-configuration lookup behaves for
+    // every stored entry (no NaN distances possible).
+    ThresholdTable table;
+    table.Add({8, 1, 4000});
+    table.Add({64, 4, 2000});
+    EXPECT_EQ(table.Lookup(8, 1), 4000);
+    EXPECT_EQ(table.Lookup(9, 1), 4000);
+    EXPECT_EQ(table.Lookup(128, 8), 2000);
+}
+
 TEST_F(ThresholdPersistTest, LoadedTableDrivesHybridDeployment)
 {
     ThresholdTable table;
