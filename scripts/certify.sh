@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+#
+# Obliviousness certification gate.
+#
+# Builds the repo, runs the leakage-labelled test suite (differential
+# trace fuzzing, statistical fixed-vs-random checks, golden-trace
+# snapshots), then rebuilds the verify harness under ASan+UBSan and
+# re-runs a full secemb-verify sweep under instrumentation.
+#
+# Usage:
+#   scripts/certify.sh [--skip-asan] [--seed N]
+#
+# Exits non-zero if any generator fails certification.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+ASAN_BUILD_DIR="${REPO_ROOT}/build-asan"
+SEED=2024
+SKIP_ASAN=0
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --skip-asan) SKIP_ASAN=1; shift ;;
+        --seed) SEED="$2"; shift 2 ;;
+        *) echo "unknown flag: $1" >&2; exit 2 ;;
+    esac
+done
+
+echo "== [1/3] Build =="
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+echo "== [2/3] Leakage test suite (ctest -L leakage) =="
+ctest --test-dir "${BUILD_DIR}" -L leakage --output-on-failure
+
+echo "== Full certification sweep (secemb-verify, seed ${SEED}) =="
+"${BUILD_DIR}/src/verify/secemb-verify" --seed="${SEED}" \
+    --json="${BUILD_DIR}/certify_report.json"
+echo "report: ${BUILD_DIR}/certify_report.json"
+
+if [[ "${SKIP_ASAN}" -eq 1 ]]; then
+    echo "== [3/3] ASan verify run skipped (--skip-asan) =="
+    exit 0
+fi
+
+echo "== [3/3] ASan+UBSan instrumented verify sweep =="
+cmake -S "${REPO_ROOT}" -B "${ASAN_BUILD_DIR}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSECEMB_SANITIZE=address
+cmake --build "${ASAN_BUILD_DIR}" -j"$(nproc)" --target secemb-verify
+"${ASAN_BUILD_DIR}/src/verify/secemb-verify" --seed="${SEED}"
+
+echo "CERTIFICATION GATE PASSED"

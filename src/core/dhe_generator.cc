@@ -12,7 +12,7 @@ DheGenerator::DheGenerator(std::shared_ptr<dhe::DheEmbedding> dhe,
 {
     assert(dhe_ != nullptr);
     trace_base_ = sidechannel::ProcessAddressSpace().Reserve(
-        static_cast<uint64_t>(dhe_->ParamBytes()));
+        static_cast<uint64_t>(dhe_->ParamBytes()), 64, "dhe.params");
 }
 
 namespace {

@@ -56,8 +56,12 @@ ThresholdTable::Lookup(int batch_size, int nthreads, int64_t fallback) const
 Technique
 ChooseTechnique(int64_t table_size, int64_t threshold)
 {
-    return table_size < threshold ? Technique::kLinearScan
-                                  : Technique::kDhe;
+    // Explicit tie-break: the profiled threshold is the smallest table
+    // size where DHE is at least as fast as the scan, so a table exactly
+    // at the threshold takes the DHE side (>=, not >). Pinned by the
+    // HybridTest.ThresholdBoundaryTieBreak regression test.
+    if (table_size >= threshold) return Technique::kDhe;
+    return Technique::kLinearScan;
 }
 
 void
@@ -131,8 +135,19 @@ HybridGenerator::Reconfigure(const ThresholdTable& thresholds,
         // reconfigurations reuse it (Algorithm 2, offline step 2).
         scan_ = std::make_unique<LinearScanTable>(
             dhe_->ToTable(table_size_));
+        scan_->set_recorder(recorder_);
     }
     Active().set_nthreads(nthreads);
+}
+
+void
+HybridGenerator::set_recorder(sidechannel::TraceRecorder* recorder)
+{
+    // Both constituents get the recorder: only the active one generates,
+    // and a later Reconfigure must not silently drop the attachment.
+    recorder_ = recorder;
+    dhe_gen_->set_recorder(recorder);
+    if (scan_) scan_->set_recorder(recorder);
 }
 
 EmbeddingGenerator&

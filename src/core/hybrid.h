@@ -70,7 +70,15 @@ class ThresholdTable
     std::vector<ThresholdEntry> entries_;
 };
 
-/** Algorithm 3's online decision for one feature. */
+/**
+ * Algorithm 3's online decision for one feature.
+ *
+ * Tie-break: a table whose size is exactly the profiled threshold is
+ * served by DHE. The threshold is defined as the smallest table size at
+ * which DHE is measured to be at least as fast as the scan, so the
+ * boundary belongs to the DHE side (ThresholdEntry: "scan below, DHE
+ * at/above").
+ */
 Technique ChooseTechnique(int64_t table_size, int64_t threshold);
 
 /**
@@ -111,6 +119,8 @@ class HybridGenerator : public EmbeddingGenerator
     std::string_view name() const override;
     bool IsOblivious() const override { return true; }
     void set_nthreads(int nthreads) override;
+    /** Forwarded to both constituents (whichever is active records). */
+    void set_recorder(sidechannel::TraceRecorder* recorder) override;
 
     /** Re-run the online decision for a new execution configuration. */
     void Reconfigure(const ThresholdTable& thresholds, int batch_size,
@@ -125,6 +135,7 @@ class HybridGenerator : public EmbeddingGenerator
     std::unique_ptr<DheGenerator> dhe_gen_;
     std::unique_ptr<LinearScanTable> scan_;  ///< lazily materialised
     int nthreads_ = 1;
+    sidechannel::TraceRecorder* recorder_ = nullptr;
 
     EmbeddingGenerator& Active();
 };

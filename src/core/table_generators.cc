@@ -21,7 +21,7 @@ namespace {
 TableLookup::TableLookup(Tensor table)
     : table_(std::move(table)),
       trace_base_(sidechannel::ProcessAddressSpace().Reserve(
-          static_cast<uint64_t>(table_.SizeBytes())))
+          static_cast<uint64_t>(table_.SizeBytes()), 64, "table.lookup"))
 {
     assert(table_.dim() == 2);
 }
@@ -54,7 +54,7 @@ TableLookup::Generate(std::span<const int64_t> indices, Tensor& out)
 LinearScanTable::LinearScanTable(Tensor table)
     : table_(std::move(table)),
       trace_base_(sidechannel::ProcessAddressSpace().Reserve(
-          static_cast<uint64_t>(table_.SizeBytes())))
+          static_cast<uint64_t>(table_.SizeBytes()), 64, "table.scan"))
 {
     assert(table_.dim() == 2);
 }

@@ -76,13 +76,13 @@ SqrtOram::SqrtOram(int64_t num_blocks, int64_t block_words, Rng& rng,
     tag_ = std::move(t2);
     id_ = std::move(i2);
 
-    static uint64_t next_base = 0x5000000000ULL;
-    trace_base_ = next_base;
-    next_base += static_cast<uint64_t>(entries * block_words_) * 4 +
-                 (1 << 20);
-    shelter_trace_base_ = next_base;
-    next_base += static_cast<uint64_t>(shelter_cap_ * block_words_) * 4 +
-                 (1 << 20);
+    auto& space = sidechannel::ProcessAddressSpace();
+    trace_base_ = space.Reserve(
+        static_cast<uint64_t>(entries * block_words_) * 4, 64,
+        "sqrt_oram.store");
+    shelter_trace_base_ = space.Reserve(
+        static_cast<uint64_t>(shelter_cap_ * block_words_) * 4, 64,
+        "sqrt_oram.shelter");
 }
 
 uint64_t

@@ -72,9 +72,8 @@ PositionMap::PositionMap(OramKind kind, int64_t num_ids, uint32_t leaf_bound,
         params.enable_recursion && num_ids > params.recursion_threshold;
     if (!recurse) {
         flat_ = initial_leaves_;
-        static uint64_t next_base = 0x7000000000ULL;
-        trace_base_ = next_base;
-        next_base += static_cast<uint64_t>(num_ids) * 4 + 4096;
+        trace_base_ = sidechannel::ProcessAddressSpace().Reserve(
+            static_cast<uint64_t>(num_ids) * 4, 64, "oram.posmap");
     } else {
         const int64_t child_blocks = (num_ids + fanout_ - 1) / fanout_;
         child_ = std::make_unique<TreeOram>(kind, child_blocks, fanout_,
@@ -178,13 +177,12 @@ TreeOram::TreeOram(OramKind kind, int64_t num_blocks, int64_t block_words,
         static_cast<size_t>(params_.stash_capacity * block_words_), 0);
     bucket_version_.assign(static_cast<size_t>(num_buckets_), 0);
 
-    static uint64_t next_base = 0x2000000000ULL;
-    tree_trace_base_ = next_base;
-    next_base += static_cast<uint64_t>(slots * block_words_) * 4 + (1 << 20);
-    stash_trace_base_ = next_base;
-    next_base +=
-        static_cast<uint64_t>(params_.stash_capacity * block_words_) * 4 +
-        (1 << 20);
+    auto& space = sidechannel::ProcessAddressSpace();
+    tree_trace_base_ = space.Reserve(
+        static_cast<uint64_t>(slots * block_words_) * 4, 64, "oram.tree");
+    stash_trace_base_ = space.Reserve(
+        static_cast<uint64_t>(params_.stash_capacity * block_words_) * 4,
+        64, "oram.stash");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,15 +1,49 @@
 #include "sidechannel/trace.h"
 
+#include <algorithm>
+
 namespace secemb::sidechannel {
 
 uint64_t
-AddressSpace::Reserve(uint64_t bytes, uint64_t align)
+AddressSpace::Reserve(uint64_t bytes, uint64_t align, std::string_view name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     next_ = (next_ + align - 1) / align * align;
     const uint64_t base = next_;
     // Pad regions apart so distinct tables never share a cache line.
     next_ += bytes + 4096;
+    auto region = std::make_unique<AddressRegion>();
+    region->base = base;
+    region->bytes = bytes;
+    region->name = std::string(name);
+    regions_.push_back(std::move(region));
     return base;
+}
+
+const AddressRegion*
+AddressSpace::Find(uint64_t addr) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    // Regions are reserved at monotonically increasing bases: binary
+    // search for the last region with base <= addr.
+    const auto it = std::upper_bound(
+        regions_.begin(), regions_.end(), addr,
+        [](uint64_t a, const std::unique_ptr<AddressRegion>& r) {
+            return a < r->base;
+        });
+    if (it == regions_.begin()) return nullptr;
+    const AddressRegion* r = std::prev(it)->get();
+    return r->Contains(addr) ? r : nullptr;
+}
+
+std::vector<AddressRegion>
+AddressSpace::Regions() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<AddressRegion> out;
+    out.reserve(regions_.size());
+    for (const auto& r : regions_) out.push_back(*r);
+    return out;
 }
 
 AddressSpace&

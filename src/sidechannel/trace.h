@@ -15,6 +15,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace secemb::sidechannel {
@@ -104,18 +108,60 @@ class SlotTraceRecorders
 };
 
 /**
+ * One reserved trace region: the virtual address range a single
+ * instrumented structure (table, tree, stash, ...) reports accesses in.
+ */
+struct AddressRegion
+{
+    uint64_t base = 0;
+    uint64_t bytes = 0;
+    std::string name;  ///< structure kind, e.g. "oram.tree"; may be empty
+
+    bool Contains(uint64_t addr) const
+    {
+        return addr >= base && addr - base < bytes;
+    }
+};
+
+/**
  * Allocates non-overlapping virtual address regions so each instrumented
  * table/tree gets a distinct base address, mimicking distinct heap
  * allocations in the real victim.
+ *
+ * Every reservation is remembered as a named AddressRegion; Find() maps a
+ * traced address back to its region, which is what the verify harness's
+ * trace canonicalization uses to rebase traces into comparable
+ * (region, offset) streams across runs and instances.
+ *
+ * Thread-safe: reservations and lookups may race (e.g. generators built
+ * from pool workers in stress tests).
  */
 class AddressSpace
 {
   public:
-    /** Reserve a region of `bytes`, aligned to `align`; returns the base. */
-    uint64_t Reserve(uint64_t bytes, uint64_t align = 64);
+    /**
+     * Reserve a region of `bytes`, aligned to `align`; returns the base.
+     * `name` labels the region for canonicalization and diagnostics.
+     */
+    uint64_t Reserve(uint64_t bytes, uint64_t align = 64,
+                     std::string_view name = "");
+
+    /**
+     * Region containing `addr`, or nullptr if the address was never
+     * reserved. The returned pointer stays valid for the lifetime of the
+     * AddressSpace (regions are never released).
+     */
+    const AddressRegion* Find(uint64_t addr) const;
+
+    /** Snapshot of all reservations, in base-address order. */
+    std::vector<AddressRegion> Regions() const;
 
   private:
+    mutable std::mutex mu_;
     uint64_t next_ = 0x10000000ULL;
+    // Deque-like stability: regions are heap-allocated so Find() results
+    // survive later reservations.
+    std::vector<std::unique_ptr<AddressRegion>> regions_;
 };
 
 /**

@@ -24,6 +24,30 @@ thread_local bool tls_in_region = false;
 /// workers exist drain the remaining chunks).
 constexpr int kMaxPoolThreads = 256;
 
+/// Schedule-fuzzing state (SetScheduleJitterForTest): participants spin a
+/// deterministic pseudo-random number of iterations before each chunk
+/// claim, perturbing claim interleavings without changing chunk bounds.
+std::atomic<uint32_t> jitter_max_spin{0};
+std::atomic<uint64_t> jitter_state{0};
+
+void
+JitterSpin()
+{
+    const uint32_t max_spin =
+        jitter_max_spin.load(std::memory_order_relaxed);
+    if (max_spin == 0) return;
+    // splitmix64 step over a shared counter: deterministic sequence of
+    // spin lengths, racy interleaving of who consumes which — exactly the
+    // schedule variance the trace stress tests want.
+    uint64_t z = jitter_state.fetch_add(0x9e3779b97f4a7c15ULL,
+                                        std::memory_order_relaxed);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    const uint32_t spins = static_cast<uint32_t>(z >> 33) % max_spin;
+    for (volatile uint32_t i = 0; i < spins; ++i) {
+    }
+}
+
 /**
  * Persistent worker pool. Workers are spawned lazily (only as many as the
  * largest nthreads seen so far, minus the caller), parked on a condition
@@ -170,6 +194,7 @@ class ThreadPool
     {
         for (;;) {
             if (task_.failed.load(std::memory_order_relaxed)) break;
+            JitterSpin();
             const int64_t c =
                 task_.next.fetch_add(1, std::memory_order_relaxed);
             if (c >= task_.nchunks) break;
@@ -276,6 +301,13 @@ bool
 InParallelRegion()
 {
     return tls_in_region;
+}
+
+void
+SetScheduleJitterForTest(uint32_t max_spin, uint64_t seed)
+{
+    jitter_state.store(seed, std::memory_order_relaxed);
+    jitter_max_spin.store(max_spin, std::memory_order_relaxed);
 }
 
 ThreadPoolStats

@@ -58,6 +58,17 @@ int DefaultNumThreads();
  */
 bool InParallelRegion();
 
+/**
+ * Test hook for schedule fuzzing: when max_spin > 0, every participant
+ * spins a pseudo-random (seeded, deterministic) number of iterations —
+ * up to max_spin — before claiming each chunk. This perturbs which
+ * participant executes which chunk without changing the chunk boundaries,
+ * so trace-identity tests can prove that recorded memory traces are
+ * invariant under scheduling (deterministic replay). max_spin = 0
+ * restores normal operation. Not for production use.
+ */
+void SetScheduleJitterForTest(uint32_t max_spin, uint64_t seed);
+
 /** Point-in-time observability of the persistent pool (tests/benches). */
 struct ThreadPoolStats
 {

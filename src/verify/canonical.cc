@@ -1,0 +1,167 @@
+#include "verify/canonical.h"
+
+#include <map>
+#include <sstream>
+
+namespace secemb::verify {
+
+std::string
+CanonicalTrace::RegionName(int32_t region) const
+{
+    if (region < 0) return "<unregistered>";
+    const size_t i = static_cast<size_t>(region);
+    if (i >= region_names.size()) return "<region " + std::to_string(region) + ">";
+    return region_names[i].empty() ? "<anonymous>" : region_names[i];
+}
+
+CanonicalTrace
+Canonicalize(const std::vector<sidechannel::MemoryAccess>& trace,
+             const sidechannel::AddressSpace& space)
+{
+    CanonicalTrace out;
+    out.accesses.reserve(trace.size());
+    // Raw region base -> canonical id, assigned in first-touch order.
+    std::map<uint64_t, int32_t> canon_ids;
+    for (const auto& a : trace) {
+        const sidechannel::AddressRegion* region = space.Find(a.addr);
+        CanonicalAccess c;
+        c.is_write = a.is_write;
+        c.size = a.size;
+        if (region == nullptr) {
+            c.region = -1;
+            c.offset = a.addr;
+        } else {
+            auto [it, inserted] = canon_ids.try_emplace(
+                region->base,
+                static_cast<int32_t>(out.region_names.size()));
+            if (inserted) {
+                out.region_names.push_back(region->name);
+                out.region_bytes.push_back(region->bytes);
+            }
+            c.region = it->second;
+            c.offset = a.addr - region->base;
+        }
+        out.accesses.push_back(c);
+    }
+    return out;
+}
+
+CanonicalTrace
+Canonicalize(const std::vector<sidechannel::MemoryAccess>& trace)
+{
+    return Canonicalize(trace, sidechannel::ProcessAddressSpace());
+}
+
+std::string
+FormatAccess(const CanonicalTrace& t, size_t index)
+{
+    if (index >= t.accesses.size()) {
+        return "<end of trace (len " + std::to_string(t.accesses.size()) +
+               ")>";
+    }
+    const CanonicalAccess& a = t.accesses[index];
+    std::ostringstream os;
+    os << t.RegionName(a.region) << "+0x" << std::hex << a.offset
+       << std::dec << " " << a.size << "B " << (a.is_write ? "W" : "R");
+    return os.str();
+}
+
+namespace {
+
+TraceDivergence
+Diverge(const CanonicalTrace& a, const CanonicalTrace& b, size_t i,
+        const char* what)
+{
+    TraceDivergence d;
+    d.diverged = true;
+    d.index = i;
+    std::ostringstream os;
+    os << what << " at access " << i << ": a=" << FormatAccess(a, i)
+       << " vs b=" << FormatAccess(b, i) << " (len(a)=" << a.accesses.size()
+       << " len(b)=" << b.accesses.size() << ")";
+    d.detail = os.str();
+    return d;
+}
+
+bool
+SameRegionIdentity(const CanonicalTrace& a, const CanonicalTrace& b,
+                   const CanonicalAccess& x, const CanonicalAccess& y)
+{
+    if (x.region != y.region) return false;
+    if (x.region < 0) return true;
+    // Same canonical id must also mean the same kind and size of region,
+    // or the comparison would equate e.g. a stash with a posmap.
+    const size_t i = static_cast<size_t>(x.region);
+    return a.region_names[i] == b.region_names[i] &&
+           a.region_bytes[i] == b.region_bytes[i];
+}
+
+}  // namespace
+
+TraceDivergence
+CompareCanonical(const CanonicalTrace& a, const CanonicalTrace& b)
+{
+    const size_t n = std::min(a.accesses.size(), b.accesses.size());
+    for (size_t i = 0; i < n; ++i) {
+        const CanonicalAccess& x = a.accesses[i];
+        const CanonicalAccess& y = b.accesses[i];
+        if (!SameRegionIdentity(a, b, x, y)) {
+            return Diverge(a, b, i, "region mismatch");
+        }
+        if (x.region < 0 || y.region < 0) {
+            // Unregistered addresses cannot be rebased: treat any such
+            // access as divergent so holes in instrumentation never pass
+            // silently.
+            return Diverge(a, b, i, "unregistered address");
+        }
+        if (!(x == y)) return Diverge(a, b, i, "access mismatch");
+    }
+    if (a.accesses.size() != b.accesses.size()) {
+        return Diverge(a, b, n, "length mismatch");
+    }
+    return {};
+}
+
+TraceDivergence
+CompareCanonicalShape(const CanonicalTrace& a, const CanonicalTrace& b)
+{
+    const size_t n = std::min(a.accesses.size(), b.accesses.size());
+    for (size_t i = 0; i < n; ++i) {
+        const CanonicalAccess& x = a.accesses[i];
+        const CanonicalAccess& y = b.accesses[i];
+        if (!SameRegionIdentity(a, b, x, y)) {
+            return Diverge(a, b, i, "region mismatch");
+        }
+        if (x.region < 0 || y.region < 0) {
+            return Diverge(a, b, i, "unregistered address");
+        }
+        if (x.size != y.size || x.is_write != y.is_write) {
+            return Diverge(a, b, i, "shape mismatch");
+        }
+    }
+    if (a.accesses.size() != b.accesses.size()) {
+        return Diverge(a, b, n, "length mismatch");
+    }
+    return {};
+}
+
+std::vector<sidechannel::MemoryAccess>
+ToModelTrace(const CanonicalTrace& t)
+{
+    std::vector<sidechannel::MemoryAccess> out;
+    out.reserve(t.accesses.size());
+    for (const auto& a : t.accesses) {
+        sidechannel::MemoryAccess m;
+        m.size = a.size;
+        m.is_write = a.is_write;
+        m.addr = a.region < 0
+                     ? a.offset
+                     : (static_cast<uint64_t>(a.region) + 1) *
+                               kCanonicalRegionStride +
+                           a.offset;
+        out.push_back(m);
+    }
+    return out;
+}
+
+}  // namespace secemb::verify

@@ -1,0 +1,100 @@
+#pragma once
+
+/**
+ * @file
+ * Trace canonicalization for the obliviousness certification harness.
+ *
+ * Raw traces carry absolute virtual addresses handed out by the process
+ * AddressSpace; two runs of the same workload (fresh generator instances,
+ * different construction order, different threads) land in different
+ * regions even when their access *patterns* are identical — exactly the
+ * situation ASLR creates for a real attacker. Canonicalization rebases a
+ * trace against the registered regions and renumbers regions in order of
+ * first touch, collapsing the trace to a (region, offset, size, op)
+ * stream that is equal across runs iff the access patterns are equal.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sidechannel/trace.h"
+
+namespace secemb::verify {
+
+/** One canonicalized access: region id by first-touch order + offset. */
+struct CanonicalAccess
+{
+    int32_t region;    ///< first-touch ordinal, or -1 if unregistered
+    bool is_write;
+    uint32_t size;     ///< bytes touched contiguously
+    uint64_t offset;   ///< byte offset within the region (raw addr if -1)
+
+    bool operator==(const CanonicalAccess&) const = default;
+};
+
+/** A canonical trace plus the region table it refers to. */
+struct CanonicalTrace
+{
+    std::vector<CanonicalAccess> accesses;
+    /** Canonical region id -> name (from AddressRegion reservation). */
+    std::vector<std::string> region_names;
+    /** Canonical region id -> reserved size in bytes. */
+    std::vector<uint64_t> region_bytes;
+
+    /** Region name for diagnostics; handles -1 and stale ids. */
+    std::string RegionName(int32_t region) const;
+};
+
+/**
+ * Rebase `trace` against the regions registered in `space`. Accesses whose
+ * address lies in no registered region keep their raw address as the
+ * offset under region -1 (they defeat canonical comparison on purpose:
+ * every instrumented structure is supposed to reserve its trace range).
+ */
+CanonicalTrace Canonicalize(const std::vector<sidechannel::MemoryAccess>& trace,
+                            const sidechannel::AddressSpace& space);
+
+/** Convenience: canonicalize against ProcessAddressSpace(). */
+CanonicalTrace Canonicalize(const std::vector<sidechannel::MemoryAccess>& trace);
+
+/** Outcome of a canonical trace comparison. */
+struct TraceDivergence
+{
+    bool diverged = false;
+    size_t index = 0;     ///< first divergent access (or min length)
+    std::string detail;   ///< human-readable region/offset/op context
+};
+
+/**
+ * Exact comparison of two canonical traces (lengths, region sequence,
+ * offsets, sizes, ops). On divergence, `detail` names the first divergent
+ * access on both sides with region/offset/op context.
+ */
+TraceDivergence CompareCanonical(const CanonicalTrace& a,
+                                 const CanonicalTrace& b);
+
+/**
+ * Shape comparison: lengths, region sequence, sizes, and ops must match;
+ * offsets within a region are free. This is the deterministic part of the
+ * obliviousness argument for randomized generators (tree/sqrt ORAM),
+ * whose traces legitimately differ in *which* bucket/entry they touch but
+ * never in how many, how large, or in what region order.
+ */
+TraceDivergence CompareCanonicalShape(const CanonicalTrace& a,
+                                      const CanonicalTrace& b);
+
+/**
+ * Deterministic flat re-addressing for channel-model replay: canonical
+ * region k is placed at base (k + 1) * kCanonicalRegionStride, so cache
+ * set indices and page numbers derived from the result are comparable
+ * across runs. Region -1 accesses keep their raw address.
+ */
+inline constexpr uint64_t kCanonicalRegionStride = uint64_t{1} << 30;
+
+std::vector<sidechannel::MemoryAccess> ToModelTrace(const CanonicalTrace& t);
+
+/** "region_name+0x<offset> <size>B R|W" for one access. */
+std::string FormatAccess(const CanonicalTrace& t, size_t index);
+
+}  // namespace secemb::verify

@@ -1,0 +1,135 @@
+#include "verify/golden.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace secemb::verify {
+
+namespace {
+
+constexpr const char* kMagic = "secemb-canonical-trace v1";
+
+bool
+Fail(std::string* error, const std::string& message)
+{
+    if (error != nullptr) *error = message;
+    return false;
+}
+
+}  // namespace
+
+std::string
+SerializeTrace(const CanonicalTrace& trace, const std::string& config_name)
+{
+    std::ostringstream os;
+    os << kMagic << "\n";
+    os << "config " << config_name << "\n";
+    os << "regions " << trace.region_names.size() << "\n";
+    for (size_t i = 0; i < trace.region_names.size(); ++i) {
+        os << "region " << i << " " << trace.region_bytes[i] << " "
+           << (trace.region_names[i].empty() ? "<anonymous>"
+                                             : trace.region_names[i])
+           << "\n";
+    }
+    os << "accesses " << trace.accesses.size() << "\n";
+    for (const CanonicalAccess& a : trace.accesses) {
+        os << a.region << " 0x" << std::hex << a.offset << std::dec << " "
+           << a.size << " " << (a.is_write ? "W" : "R") << "\n";
+    }
+    return os.str();
+}
+
+bool
+ParseTrace(const std::string& text, CanonicalTrace* trace,
+           std::string* config_name, std::string* error)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic) {
+        return Fail(error, "bad magic line (want \"" +
+                               std::string(kMagic) + "\")");
+    }
+
+    CanonicalTrace out;
+    std::string word;
+    size_t count = 0;
+
+    if (!(is >> word) || word != "config" || !(is >> word)) {
+        return Fail(error, "missing config line");
+    }
+    if (config_name != nullptr) *config_name = word;
+
+    if (!(is >> word) || word != "regions" || !(is >> count)) {
+        return Fail(error, "missing regions header");
+    }
+    for (size_t i = 0; i < count; ++i) {
+        size_t id = 0;
+        uint64_t bytes = 0;
+        std::string name;
+        if (!(is >> word) || word != "region" || !(is >> id >> bytes >> name) ||
+            id != i) {
+            return Fail(error,
+                        "bad region line " + std::to_string(i));
+        }
+        out.region_names.push_back(name == "<anonymous>" ? "" : name);
+        out.region_bytes.push_back(bytes);
+    }
+
+    if (!(is >> word) || word != "accesses" || !(is >> count)) {
+        return Fail(error, "missing accesses header");
+    }
+    out.accesses.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        CanonicalAccess a;
+        std::string offset_hex, op;
+        int64_t region = 0;
+        uint64_t size = 0;
+        if (!(is >> region >> offset_hex >> size >> op)) {
+            return Fail(error,
+                        "bad access line " + std::to_string(i));
+        }
+        if (offset_hex.rfind("0x", 0) != 0 || (op != "R" && op != "W")) {
+            return Fail(error,
+                        "bad access line " + std::to_string(i));
+        }
+        a.region = static_cast<int32_t>(region);
+        a.offset = std::stoull(offset_hex.substr(2), nullptr, 16);
+        a.size = static_cast<uint32_t>(size);
+        a.is_write = op == "W";
+        out.accesses.push_back(a);
+    }
+
+    *trace = std::move(out);
+    return true;
+}
+
+bool
+WriteTraceFile(const std::string& path, const CanonicalTrace& trace,
+               const std::string& config_name, std::string* error)
+{
+    std::ofstream f(path);
+    if (!f) return Fail(error, "cannot open " + path + " for writing");
+    f << SerializeTrace(trace, config_name);
+    f.flush();
+    if (!f) return Fail(error, "write failed for " + path);
+    return true;
+}
+
+bool
+ReadTraceFile(const std::string& path, CanonicalTrace* trace,
+              std::string* config_name, std::string* error)
+{
+    std::ifstream f(path);
+    if (!f) return Fail(error, "cannot open " + path);
+    std::ostringstream content;
+    content << f.rdbuf();
+    return ParseTrace(content.str(), trace, config_name, error);
+}
+
+std::string
+GoldenFileName(const std::string& config_name)
+{
+    return config_name + ".trace";
+}
+
+}  // namespace secemb::verify

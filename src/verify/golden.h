@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Golden canonical-trace snapshots.
+ *
+ * A golden file pins the exact canonical trace of one small generator
+ * configuration (see GoldenConfigs() in harness.h). The snapshot test
+ * regenerates the trace and diffs it against the committed file, catching
+ * any unintended change to a generator's access pattern — stronger than
+ * the differential engine alone, which only proves runs agree with *each
+ * other*. Regenerate deliberately with `secemb-verify --update-golden`.
+ *
+ * Format (plain text, diffable in review):
+ *
+ *   secemb-canonical-trace v1
+ *   config <slug>
+ *   regions <n>
+ *   region <id> <bytes> <name>
+ *   accesses <n>
+ *   <region> 0x<offset> <size> R|W
+ */
+
+#include <string>
+
+#include "verify/canonical.h"
+
+namespace secemb::verify {
+
+/** Serialize a canonical trace to the golden text format. */
+std::string SerializeTrace(const CanonicalTrace& trace,
+                           const std::string& config_name);
+
+/**
+ * Parse the golden text format. Returns false (with *error set) on any
+ * syntax or version mismatch; config_name may be nullptr.
+ */
+bool ParseTrace(const std::string& text, CanonicalTrace* trace,
+                std::string* config_name, std::string* error);
+
+/** Write a golden file; returns false with *error on IO failure. */
+bool WriteTraceFile(const std::string& path, const CanonicalTrace& trace,
+                    const std::string& config_name, std::string* error);
+
+/** Read a golden file; returns false with *error on IO/parse failure. */
+bool ReadTraceFile(const std::string& path, CanonicalTrace* trace,
+                   std::string* config_name, std::string* error);
+
+/** Golden file name for a configuration: "<slug>.trace". */
+std::string GoldenFileName(const std::string& config_name);
+
+}  // namespace secemb::verify

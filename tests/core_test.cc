@@ -244,6 +244,36 @@ TEST(HybridTest, ChoosesByThreshold)
     EXPECT_EQ(ChooseTechnique(4096, 4096), Technique::kDhe);
 }
 
+TEST(HybridTest, ThresholdBoundaryTieBreak)
+{
+    // Regression pin for the boundary: a table exactly at the profiled
+    // threshold is served by DHE. The threshold is the smallest table
+    // size where DHE measured at least as fast as the scan, so the
+    // boundary belongs to the DHE side — and one off either way flips.
+    EXPECT_EQ(ChooseTechnique(4096, 4096), Technique::kDhe);
+    EXPECT_EQ(ChooseTechnique(4095, 4096), Technique::kLinearScan);
+    EXPECT_EQ(ChooseTechnique(4097, 4096), Technique::kDhe);
+    EXPECT_EQ(ChooseTechnique(1, 1), Technique::kDhe);
+    EXPECT_EQ(ChooseTechnique(0, 1), Technique::kLinearScan);
+    // Threshold 0 disables the scan side entirely.
+    EXPECT_EQ(ChooseTechnique(0, 0), Technique::kDhe);
+
+    // The whole generator honours the tie-break, not just the planner:
+    // a table exactly at the threshold lands on DHE.
+    Rng rng(77);
+    dhe::DheConfig cfg;
+    cfg.k = 16;
+    cfg.fc_hidden = {8};
+    cfg.out_dim = 4;
+    auto dhe = std::make_shared<dhe::DheEmbedding>(cfg, rng);
+    ThresholdTable thresholds;
+    thresholds.Add({32, 1, 500});
+    HybridGenerator at(dhe, /*table_size=*/500, thresholds, 32, 1);
+    EXPECT_EQ(at.active_technique(), Technique::kDhe);
+    HybridGenerator below(dhe, /*table_size=*/499, thresholds, 32, 1);
+    EXPECT_EQ(below.active_technique(), Technique::kLinearScan);
+}
+
 TEST(HybridTest, SmallTableUsesScanAndMatchesDheOutputs)
 {
     Rng rng(18);

@@ -8,12 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "core/factory.h"
 #include "core/table_generators.h"
 #include "dhe/hashing.h"
+#include "oblivious/ct_ops.h"
 #include "oblivious/sort.h"
 #include "oram/tree_oram.h"
 #include "sidechannel/attacker.h"
@@ -50,22 +52,28 @@ TEST(OramDistributionTest, LeafChoicesUniformAcrossAccesses)
     std::vector<int64_t> counts(static_cast<size_t>(leaves), 0);
     std::vector<uint32_t> block(4);
     const int kAccesses = 4000;
+    const auto& space = sidechannel::ProcessAddressSpace();
     for (int i = 0; i < kAccesses; ++i) {
         rec.Clear();
         oram.Read(7, block);  // same "secret" every time
         // The deepest bucket read in the access trace identifies the
-        // leaf; bucket addresses are tree-base + index * bucket_bytes.
-        uint64_t max_addr = 0;
+        // leaf; bucket offsets within the "oram.tree" region are
+        // index * bucket_bytes (resolved via the named address region,
+        // so the test is independent of where the base landed).
+        uint64_t max_offset = 0;
+        bool saw_tree = false;
         for (const auto& a : rec.trace()) {
-            if (!a.is_write && a.addr > max_addr &&
-                a.addr < 0x5000000000ULL) {
-                max_addr = std::max(max_addr, a.addr);
-            }
+            if (a.is_write) continue;
+            const sidechannel::AddressRegion* region = space.Find(a.addr);
+            if (region == nullptr || region->name != "oram.tree") continue;
+            max_offset = std::max(max_offset, a.addr - region->base);
+            saw_tree = true;
         }
+        ASSERT_TRUE(saw_tree);
         // Leaf buckets occupy the top half of the bucket array.
         const uint64_t bucket_bytes = 4ull * 4ull * 4ull;
-        const int64_t bucket = static_cast<int64_t>(
-            (max_addr - 0x2000000000ULL) / bucket_bytes);
+        const int64_t bucket =
+            static_cast<int64_t>(max_offset / bucket_bytes);
         const int64_t leaf = bucket - (leaves - 1);
         if (leaf >= 0 && leaf < leaves) {
             ++counts[static_cast<size_t>(leaf)];
@@ -123,6 +131,128 @@ TEST(ShuffleDistributionTest, PairwisePositionsUniform)
     }
     EXPECT_TRUE(ChiSquaredAcceptable(ChiSquaredUniform(counts), n))
         << ChiSquaredUniform(counts);
+}
+
+// --- oblivious sort: randomized-shape invariants ---------------------------
+
+TEST(SortPropertyTest, RandomShapesAgreeWithStdSort)
+{
+    // Random lengths (including 0, 1, and non-powers-of-two — the bitonic
+    // network's padding path) with duplicate-heavy keys: the oblivious
+    // sort must agree with std::sort on every case.
+    Rng rng(41);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int64_t n = static_cast<int64_t>(rng.NextBounded(130));
+        std::vector<uint64_t> keys(static_cast<size_t>(n));
+        for (auto& k : keys) k = rng.NextBounded(16);  // many duplicates
+        std::vector<uint64_t> expected = keys;
+        std::sort(expected.begin(), expected.end());
+        oblivious::ObliviousSort(keys);
+        ASSERT_EQ(keys, expected) << "n=" << n << " trial=" << trial;
+    }
+}
+
+TEST(SortPropertyTest, PayloadRowsTravelWithTheirKeys)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 100; ++trial) {
+        const int64_t n = 1 + static_cast<int64_t>(rng.NextBounded(70));
+        const int64_t words = 1 + static_cast<int64_t>(rng.NextBounded(5));
+        std::vector<uint64_t> keys(static_cast<size_t>(n));
+        std::vector<uint32_t> rows(static_cast<size_t>(n * words));
+        for (int64_t i = 0; i < n; ++i) {
+            // Distinct keys so the key -> payload relation is a function.
+            keys[static_cast<size_t>(i)] =
+                (rng.NextBounded(1u << 20) << 10) |
+                static_cast<uint64_t>(i);
+            for (int64_t w = 0; w < words; ++w) {
+                // Payload derives from the key, making mismatches loud.
+                rows[static_cast<size_t>(i * words + w)] =
+                    static_cast<uint32_t>(keys[static_cast<size_t>(i)] *
+                                              31 +
+                                          static_cast<uint64_t>(w));
+            }
+        }
+        oblivious::ObliviousSortByKey(keys, rows, words);
+        ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+        for (int64_t i = 0; i < n; ++i) {
+            for (int64_t w = 0; w < words; ++w) {
+                ASSERT_EQ(rows[static_cast<size_t>(i * words + w)],
+                          static_cast<uint32_t>(
+                              keys[static_cast<size_t>(i)] * 31 +
+                              static_cast<uint64_t>(w)))
+                    << "n=" << n << " words=" << words << " i=" << i;
+            }
+        }
+    }
+}
+
+// --- constant-time primitives vs naive reference ---------------------------
+
+TEST(CtOpsPropertyTest, AgreeWithNaiveReferenceOn1kSeededCases)
+{
+    Rng rng(43);
+    for (int trial = 0; trial < 1000; ++trial) {
+        // Mix full-range values with near-collisions and boundary values,
+        // where branchless comparisons are easiest to get wrong.
+        auto draw = [&rng]() -> uint64_t {
+            switch (rng.NextBounded(4)) {
+              case 0: return rng.Next();
+              case 1: return rng.NextBounded(3);
+              case 2: return ~uint64_t{0} - rng.NextBounded(3);
+              default: return uint64_t{1} << rng.NextBounded(64);
+            }
+        };
+        const uint64_t a = draw();
+        const uint64_t b = rng.NextBounded(2) == 0 ? draw() : a;
+
+        EXPECT_EQ(oblivious::EqMask(a, b),
+                  a == b ? ~uint64_t{0} : uint64_t{0});
+        EXPECT_EQ(oblivious::LtMask(a, b),
+                  a < b ? ~uint64_t{0} : uint64_t{0});
+
+        const uint64_t mask =
+            rng.NextBounded(2) == 0 ? ~uint64_t{0} : uint64_t{0};
+        EXPECT_EQ(oblivious::Select(mask, a, b), mask ? a : b);
+        EXPECT_EQ(oblivious::BoolToMask(mask & 1),
+                  mask ? ~uint64_t{0} : uint64_t{0});
+
+        const int64_t sa = static_cast<int64_t>(a);
+        const int64_t sb = static_cast<int64_t>(b);
+        EXPECT_EQ(oblivious::SelectI64(mask, sa, sb), mask ? sa : sb);
+
+        const float fa = rng.NextUniform(-100.0f, 100.0f);
+        const float fb = rng.NextUniform(-100.0f, 100.0f);
+        EXPECT_EQ(oblivious::SelectF32(mask, fa, fb), mask ? fa : fb);
+
+        uint64_t x = a, y = b;
+        oblivious::CtSwapU64(mask, x, y);
+        EXPECT_EQ(x, mask ? b : a);
+        EXPECT_EQ(y, mask ? a : b);
+    }
+}
+
+TEST(CtOpsPropertyTest, RowBlendAndSwapMatchReference)
+{
+    Rng rng(44);
+    for (int trial = 0; trial < 100; ++trial) {
+        const size_t n = 1 + rng.NextBounded(33);
+        std::vector<float> src(n), dst(n), dst0;
+        for (size_t i = 0; i < n; ++i) {
+            src[i] = rng.NextUniform(-1.0f, 1.0f);
+            dst[i] = rng.NextUniform(-1.0f, 1.0f);
+        }
+        dst0 = dst;
+        const uint64_t mask =
+            rng.NextBounded(2) == 0 ? ~uint64_t{0} : uint64_t{0};
+        oblivious::CtCopyRow(mask, src, dst);
+        ASSERT_EQ(dst, mask ? src : dst0);
+
+        std::vector<float> p = src, q = dst0;
+        oblivious::CtSwapRows(mask, p, q);
+        ASSERT_EQ(p, mask ? dst0 : src);
+        ASSERT_EQ(q, mask ? src : dst0);
+    }
 }
 
 // --- attack sweeps over geometries ----------------------------------------
