@@ -1,20 +1,25 @@
 /**
  * @file
- * Recommendation-model scenario: train a small DLRM with DHE embeddings,
- * deploy it with the paper's hybrid protection (Algorithm 2/3), and
- * serve CTR predictions whose memory trace leaks nothing about the
- * user's categorical features.
+ * Recommendation-model scenario, served through the fault-tolerant
+ * pipeline: train a small DLRM with DHE embeddings, deploy each sparse
+ * feature as a hybrid generator (paper Algorithm 2/3) behind a
+ * bounded-queue batch server, and serve lookup traffic with deadlines,
+ * typed load shedding, and oblivious graceful degradation.
  *
- *   $ ./dlrm_serving [--steps N]
+ *   $ ./dlrm_serving [--steps N] [--burst N]
  */
 
 #include <cstdio>
+#include <future>
+#include <memory>
+#include <vector>
 
 #include "bench_util/bench_util.h"
 #include "core/factory.h"
 #include "dlrm/dataset.h"
 #include "dlrm/model.h"
 #include "profile/profiler.h"
+#include "serving/server.h"
 
 using namespace secemb;
 
@@ -23,6 +28,7 @@ main(int argc, char** argv)
 {
     const bench::Args args(argc, argv);
     const int steps = static_cast<int>(args.GetInt("--steps", 200));
+    const int burst = static_cast<int>(args.GetInt("--burst", 256));
 
     // A small Criteo-shaped model (8 sparse features).
     dlrm::DlrmConfig cfg = dlrm::DlrmConfig::CriteoKaggle().Scaled(10000);
@@ -33,7 +39,7 @@ main(int argc, char** argv)
     // ---- 1. Train with every sparse feature as a DHE (paper Section
     //         IV-C3: all-DHE training keeps the training trace oblivious
     //         too).
-    std::printf("[1/4] training an all-DHE DLRM (%d steps)...\n", steps);
+    std::printf("[1/5] training an all-DHE DLRM (%d steps)...\n", steps);
     Rng rng(1);
     dlrm::TrainableDlrm model(cfg, dlrm::EmbeddingMode::kDheVaried, rng,
                               /*dhe_size_divisor=*/8);
@@ -49,19 +55,21 @@ main(int argc, char** argv)
 
     // ---- 2. Offline profiling: where does linear scan beat DHE on this
     //         machine (Algorithm 2, offline step 1)?
-    std::printf("[2/4] profiling scan/DHE thresholds...\n");
+    std::printf("[2/5] profiling scan/DHE thresholds...\n");
     Rng prof_rng(3);
     const core::ThresholdTable thresholds = profile::QuickThresholds(
         32, 1, cfg.emb_dim, /*varied_dhe=*/true, prof_rng);
     std::printf("      threshold at batch 32 / 1 thread: %ld rows\n",
                 thresholds.Lookup(32, 1));
 
-    // ---- 3. Deploy: each feature becomes a HybridGenerator that
-    //         materialises a table from its trained DHE when scan wins.
-    std::printf("[3/4] deploying hybrid generators per feature...\n");
-    std::vector<std::unique_ptr<core::EmbeddingGenerator>> gens;
+    // ---- 3. Deploy: each feature becomes a HybridGenerator behind the
+    //         batch server — bounded queue, deadline-aware batching,
+    //         typed shedding, oblivious degradation under load.
+    std::printf("[3/5] deploying hybrid generators behind the batch "
+                "server...\n");
+    std::vector<std::shared_ptr<core::EmbeddingGenerator>> gens;
     for (int64_t f = 0; f < cfg.num_sparse(); ++f) {
-        auto hybrid = std::make_unique<core::HybridGenerator>(
+        auto hybrid = std::make_shared<core::HybridGenerator>(
             model.dhe(f), cfg.table_sizes[static_cast<size_t>(f)],
             thresholds, /*batch_size=*/32, /*nthreads=*/1);
         std::printf("      feature %ld (%ld rows) -> %s\n", f,
@@ -69,21 +77,73 @@ main(int argc, char** argv)
                     std::string(hybrid->name()).c_str());
         gens.push_back(std::move(hybrid));
     }
-    Rng serve_rng(4);
-    dlrm::SecureDlrm serving(cfg, std::move(gens), serve_rng);
+    serving::ServerConfig srv_cfg;
+    srv_cfg.queue_capacity = 32;
+    srv_cfg.max_batch = 8;
+    srv_cfg.flush_deadline_us = 200;
+    srv_cfg.default_deadline_us = 50000;  // 50 ms per lookup
+    serving::Server server(gens, srv_cfg);
 
-    // ---- 4. Serve a batch of requests.
-    std::printf("[4/4] serving a batch of 4 requests...\n");
+    // ---- 4. Serve one lookup per feature with a deadline attached.
+    std::printf("[4/5] serving one embedding lookup per feature...\n");
     dlrm::SyntheticCtrDataset requests(cfg, 5);
     const dlrm::CtrBatch batch = requests.NextBatch(4);
-    const Tensor ctr = serving.Inference(batch.dense, batch.sparse);
-    for (int64_t i = 0; i < ctr.numel(); ++i) {
-        std::printf("      request %ld: click probability %.3f\n", i,
-                    ctr.at(i));
+    for (int f = 0; f < static_cast<int>(cfg.num_sparse()); ++f) {
+        serving::Request req;
+        req.feature = f;
+        req.indices = batch.sparse[static_cast<size_t>(f)];
+        const serving::Response resp =
+            server.SubmitAndWait(std::move(req));
+        std::printf("      feature %d: %s, %.1f us e2e, level %d\n", f,
+                    serving::StatusCodeName(resp.status.code),
+                    resp.e2e_ns * 1e-3, resp.degrade_level);
     }
+
+    // ---- 5. Overload burst: submit far more than the queue holds in one
+    //         go. Excess requests are shed with a typed status (never a
+    //         blocked caller); sustained pressure degrades the server —
+    //         smaller batch ceilings, per-slot pooling — in ways an
+    //         attacker watching the memory trace cannot distinguish.
+    std::printf("[5/5] overload burst of %d requests...\n", burst);
+    std::vector<std::future<serving::Response>> futs;
+    futs.reserve(static_cast<size_t>(burst));
+    for (int i = 0; i < burst; ++i) {
+        serving::Request req;
+        req.feature = i % static_cast<int>(cfg.num_sparse());
+        req.indices = {
+            i % cfg.table_sizes[static_cast<size_t>(req.feature)]};
+        futs.push_back(server.Submit(std::move(req)));
+    }
+    int ok = 0, shed = 0, late = 0, other = 0;
+    for (auto& fut : futs) {
+        const serving::Response resp = fut.get();
+        switch (resp.status.code) {
+            case serving::StatusCode::kOk: ++ok; break;
+            case serving::StatusCode::kShed: ++shed; break;
+            case serving::StatusCode::kDeadlineExceeded: ++late; break;
+            default: ++other; break;
+        }
+    }
+    server.Shutdown();
+    const serving::ServerStats stats = server.GetStats();
+    std::printf("      served %d, shed %d, deadline-exceeded %d, other "
+                "%d\n",
+                ok, shed, late, other);
+    std::printf("      batches %lu (degraded %lu), retries %lu, final "
+                "degrade level %d\n",
+                static_cast<unsigned long>(stats.batches),
+                static_cast<unsigned long>(stats.degraded_batches),
+                static_cast<unsigned long>(stats.retries),
+                stats.degrade_level);
     std::printf("\nembedding state deployed: %.2f MB (the raw tables "
                 "would be %.2f MB)\n",
-                serving.EmbeddingFootprintBytes() / (1024.0 * 1024.0),
+                [&] {
+                    int64_t b = 0;
+                    for (const auto& g : gens) {
+                        b += g->MemoryFootprintBytes();
+                    }
+                    return b / (1024.0 * 1024.0);
+                }(),
                 [&] {
                     int64_t b = 0;
                     for (int64_t s : cfg.table_sizes) {

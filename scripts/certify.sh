@@ -5,10 +5,12 @@
 # Builds the repo, runs the leakage-labelled test suite (differential
 # trace fuzzing, statistical fixed-vs-random checks, golden-trace
 # snapshots), then rebuilds the verify harness under ASan+UBSan and
-# re-runs a full secemb-verify sweep under instrumentation.
+# re-runs a full secemb-verify sweep under instrumentation. Finally
+# chains into scripts/chaos.sh so the fault-injected serving path is
+# certified alongside the fault-free generators.
 #
 # Usage:
-#   scripts/certify.sh [--skip-asan] [--seed N]
+#   scripts/certify.sh [--skip-asan] [--skip-chaos] [--seed N]
 #
 # Exits non-zero if any generator fails certification.
 
@@ -19,20 +21,22 @@ BUILD_DIR="${REPO_ROOT}/build"
 ASAN_BUILD_DIR="${REPO_ROOT}/build-asan"
 SEED=2024
 SKIP_ASAN=0
+SKIP_CHAOS=0
 
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --skip-asan) SKIP_ASAN=1; shift ;;
+        --skip-chaos) SKIP_CHAOS=1; shift ;;
         --seed) SEED="$2"; shift 2 ;;
         *) echo "unknown flag: $1" >&2; exit 2 ;;
     esac
 done
 
-echo "== [1/3] Build =="
+echo "== [1/4] Build =="
 cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
-echo "== [2/3] Leakage test suite (ctest -L leakage) =="
+echo "== [2/4] Leakage test suite (ctest -L leakage) =="
 ctest --test-dir "${BUILD_DIR}" -L leakage --output-on-failure
 
 echo "== Full certification sweep (secemb-verify, seed ${SEED}) =="
@@ -41,14 +45,24 @@ echo "== Full certification sweep (secemb-verify, seed ${SEED}) =="
 echo "report: ${BUILD_DIR}/certify_report.json"
 
 if [[ "${SKIP_ASAN}" -eq 1 ]]; then
-    echo "== [3/3] ASan verify run skipped (--skip-asan) =="
-    exit 0
+    echo "== [3/4] ASan verify run skipped (--skip-asan) =="
+else
+    echo "== [3/4] ASan+UBSan instrumented verify sweep =="
+    cmake -S "${REPO_ROOT}" -B "${ASAN_BUILD_DIR}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSECEMB_SANITIZE=address
+    cmake --build "${ASAN_BUILD_DIR}" -j"$(nproc)" --target secemb-verify
+    "${ASAN_BUILD_DIR}/src/verify/secemb-verify" --seed="${SEED}"
 fi
 
-echo "== [3/3] ASan+UBSan instrumented verify sweep =="
-cmake -S "${REPO_ROOT}" -B "${ASAN_BUILD_DIR}" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSECEMB_SANITIZE=address
-cmake --build "${ASAN_BUILD_DIR}" -j"$(nproc)" --target secemb-verify
-"${ASAN_BUILD_DIR}/src/verify/secemb-verify" --seed="${SEED}"
+if [[ "${SKIP_CHAOS}" -eq 1 ]]; then
+    echo "== [4/4] Chaos gate skipped (--skip-chaos) =="
+else
+    echo "== [4/4] Chaos gate (scripts/chaos.sh) =="
+    if [[ "${SKIP_ASAN}" -eq 1 ]]; then
+        "${REPO_ROOT}/scripts/chaos.sh" --skip-sanitizers
+    else
+        "${REPO_ROOT}/scripts/chaos.sh"
+    fi
+fi
 
 echo "CERTIFICATION GATE PASSED"

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+#
+# Robustness gate: the fault-injected serving chaos suite.
+#
+# Builds the repo and runs the robustness-labelled tests (serving
+# lifecycle, the seeded fault-injection matrix, thread-pool fault
+# resilience, obliviousness of the degraded serving path), then rebuilds
+# and re-runs them under sanitizers: ASan (leaks, use-after-free in the
+# failure paths), TSan (queue/batcher/pool races), and UBSan.
+#
+# Every fault decision is a pure function of (plan seed, site, hit
+# ordinal), so a failing chaos case replays exactly from its seed — there
+# are no coin flips to chase.
+#
+# Usage:
+#   scripts/chaos.sh [--skip-sanitizers] [--sanitizers "address thread"]
+#
+# Exits non-zero on any crash, hang (ctest timeout), leak, race, or
+# unexpected fault outcome.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+SKIP_SANITIZERS=0
+SANITIZERS="address thread undefined"
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --skip-sanitizers) SKIP_SANITIZERS=1; shift ;;
+        --sanitizers) SANITIZERS="$2"; shift 2 ;;
+        *) echo "unknown flag: $1" >&2; exit 2 ;;
+    esac
+done
+
+echo "== [1/2] Build + robustness suite (ctest -L robustness) =="
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+ctest --test-dir "${BUILD_DIR}" -L robustness --output-on-failure \
+    --timeout 300
+
+if [[ "${SKIP_SANITIZERS}" -eq 1 ]]; then
+    echo "== [2/2] Sanitizer passes skipped (--skip-sanitizers) =="
+    echo "CHAOS GATE PASSED (unsanitized)"
+    exit 0
+fi
+
+echo "== [2/2] Sanitizer passes: ${SANITIZERS} =="
+for SAN in ${SANITIZERS}; do
+    SAN_BUILD_DIR="${REPO_ROOT}/build-${SAN}"
+    echo "-- ${SAN}: configure + build --"
+    cmake -S "${REPO_ROOT}" -B "${SAN_BUILD_DIR}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSECEMB_SANITIZE="${SAN}"
+    cmake --build "${SAN_BUILD_DIR}" -j"$(nproc)" \
+        --target serving_test chaos_test serving_verify_test \
+        parallel_pool_test
+    echo "-- ${SAN}: ctest -L robustness --"
+    ctest --test-dir "${SAN_BUILD_DIR}" -L robustness \
+        --output-on-failure --timeout 600
+done
+
+echo "CHAOS GATE PASSED"

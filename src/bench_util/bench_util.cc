@@ -1,7 +1,12 @@
 #include "bench_util/bench_util.h"
 
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 namespace secemb::bench {
 
@@ -102,31 +107,63 @@ Args::Args(int argc, char** argv)
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
 }
 
+const std::string*
+Args::FindValue(const std::string& flag) const
+{
+    for (size_t i = 0; i < args_.size(); ++i) {
+        if (args_[i] != flag) continue;
+        if (i + 1 >= args_.size()) {
+            throw std::runtime_error(flag + ": missing value");
+        }
+        return &args_[i + 1];
+    }
+    return nullptr;
+}
+
 int64_t
 Args::GetInt(const std::string& flag, int64_t def) const
 {
-    for (size_t i = 0; i + 1 < args_.size(); ++i) {
-        if (args_[i] == flag) return std::stoll(args_[i + 1]);
+    const std::string* raw = FindValue(flag);
+    if (raw == nullptr) return def;
+    int64_t v = 0;
+    const char* first = raw->c_str();
+    const char* last = first + raw->size();
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec == std::errc::result_out_of_range) {
+        throw std::runtime_error(flag + ": integer out of range: '" +
+                                 *raw + "'");
     }
-    return def;
+    if (ec != std::errc() || ptr != last) {
+        throw std::runtime_error(flag + ": expected an integer, got '" +
+                                 *raw + "'");
+    }
+    return v;
 }
 
 double
 Args::GetDouble(const std::string& flag, double def) const
 {
-    for (size_t i = 0; i + 1 < args_.size(); ++i) {
-        if (args_[i] == flag) return std::stod(args_[i + 1]);
+    const std::string* raw = FindValue(flag);
+    if (raw == nullptr) return def;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(raw->c_str(), &end);
+    if (end == raw->c_str() || end != raw->c_str() + raw->size()) {
+        throw std::runtime_error(flag + ": expected a number, got '" +
+                                 *raw + "'");
     }
-    return def;
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+        throw std::runtime_error(flag + ": number out of range: '" + *raw +
+                                 "'");
+    }
+    return v;
 }
 
 std::string
 Args::GetString(const std::string& flag, const std::string& def) const
 {
-    for (size_t i = 0; i + 1 < args_.size(); ++i) {
-        if (args_[i] == flag) return args_[i + 1];
-    }
-    return def;
+    const std::string* raw = FindValue(flag);
+    return raw != nullptr ? *raw : def;
 }
 
 bool

@@ -69,7 +69,14 @@ class TablePrinter
     std::vector<std::vector<std::string>> rows_;
 };
 
-/** Minimal --flag value parser. */
+/**
+ * Minimal --flag value parser.
+ *
+ * Numeric accessors parse strictly: a malformed value (`--steps abc`),
+ * trailing junk (`--steps 12x`), a missing value (`--steps` as the last
+ * argument), or an out-of-range number throws std::runtime_error naming
+ * the flag and the offending text — never a silent default or UB.
+ */
 class Args
 {
   public:
@@ -83,6 +90,10 @@ class Args
                           const std::string& def = "") const;
 
   private:
+    /** Value after `flag`, nullptr if the flag is absent; throws if the
+     *  flag is present with no value after it. */
+    const std::string* FindValue(const std::string& flag) const;
+
     std::vector<std::string> args_;
 };
 

@@ -1,0 +1,257 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "telemetry/telemetry.h"
+#include "tensor/parallel.h"
+
+namespace secemb::fault {
+
+namespace {
+
+std::atomic<FaultPlan*> g_active_plan{nullptr};
+
+/// Worker-stall duration for the installed chunk hook (ScopedWorkerFaults).
+std::atomic<uint64_t> g_stall_us{0};
+
+/// splitmix64: the repo's idiom for cheap deterministic pseudo-randomness.
+uint64_t
+Mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+U01(uint64_t z)
+{
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+void
+ChunkHook(int64_t /*begin*/, int64_t /*end*/)
+{
+    FaultPlan* plan = g_active_plan.load(std::memory_order_relaxed);
+    if (plan == nullptr) return;
+    if (plan->ShouldFire(FaultSite::kWorkerStall)) {
+        const uint64_t us = g_stall_us.load(std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+    if (plan->ShouldFire(FaultSite::kWorkerException)) {
+        throw InjectedFault("injected worker exception");
+    }
+}
+
+}  // namespace
+
+const char*
+FaultSiteName(FaultSite site)
+{
+    switch (site) {
+        case FaultSite::kAlloc: return "alloc";
+        case FaultSite::kWorkerException: return "worker_exception";
+        case FaultSite::kWorkerStall: return "worker_stall";
+        case FaultSite::kGenerate: return "generate";
+        case FaultSite::kCount: break;
+    }
+    return "unknown";
+}
+
+FaultPlan::FaultPlan(uint64_t seed) : seed_(seed) {}
+
+void
+FaultPlan::ArmCountdown(FaultSite site, uint64_t first_hit, uint64_t period,
+                        uint64_t max_fires)
+{
+    Site& s = sites_[static_cast<int>(site)];
+    s.mode = Site::Mode::kCountdown;
+    s.first_hit = first_hit == 0 ? 1 : first_hit;
+    s.period = period;
+    s.max_fires = max_fires;
+}
+
+void
+FaultPlan::ArmRate(FaultSite site, double rate, uint64_t max_fires)
+{
+    Site& s = sites_[static_cast<int>(site)];
+    s.mode = Site::Mode::kRate;
+    s.rate = rate;
+    s.max_fires = max_fires;
+}
+
+void
+FaultPlan::Disarm(FaultSite site)
+{
+    sites_[static_cast<int>(site)].mode = Site::Mode::kOff;
+}
+
+void
+FaultPlan::set_clock_skew_ns(int64_t skew_ns)
+{
+    clock_skew_ns_.store(skew_ns, std::memory_order_relaxed);
+}
+
+int64_t
+FaultPlan::clock_skew_ns() const
+{
+    return clock_skew_ns_.load(std::memory_order_relaxed);
+}
+
+bool
+FaultPlan::ShouldFire(FaultSite site)
+{
+    Site& s = sites_[static_cast<int>(site)];
+    if (s.mode == Site::Mode::kOff) return false;
+    const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire = false;
+    switch (s.mode) {
+        case Site::Mode::kOff: return false;
+        case Site::Mode::kCountdown:
+            if (hit < s.first_hit) return false;
+            fire = s.period == 0 ? hit == s.first_hit
+                                 : (hit - s.first_hit) % s.period == 0;
+            break;
+        case Site::Mode::kRate:
+            fire = U01(Mix64(seed_ ^ (static_cast<uint64_t>(site) << 56) ^
+                             hit)) < s.rate;
+            break;
+    }
+    if (!fire) return false;
+    // Respect the fire cap under concurrent hits: claim a fire slot or bail.
+    uint64_t f = s.fires.load(std::memory_order_relaxed);
+    for (;;) {
+        if (s.max_fires != 0 && f >= s.max_fires) return false;
+        if (s.fires.compare_exchange_weak(f, f + 1,
+                                          std::memory_order_relaxed)) {
+            break;
+        }
+    }
+    TELEMETRY_COUNT("fault.injected", 1);
+    return true;
+}
+
+uint64_t
+FaultPlan::hits(FaultSite site) const
+{
+    return sites_[static_cast<int>(site)].hits.load(
+        std::memory_order_relaxed);
+}
+
+uint64_t
+FaultPlan::fires(FaultSite site) const
+{
+    return sites_[static_cast<int>(site)].fires.load(
+        std::memory_order_relaxed);
+}
+
+void
+FaultPlan::ResetCounters()
+{
+    for (Site& s : sites_) {
+        s.hits.store(0, std::memory_order_relaxed);
+        s.fires.store(0, std::memory_order_relaxed);
+    }
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultPlan* plan)
+    : previous_(g_active_plan.exchange(plan, std::memory_order_relaxed))
+{
+}
+
+ScopedFaultInjection::~ScopedFaultInjection()
+{
+    g_active_plan.store(previous_, std::memory_order_relaxed);
+}
+
+FaultPlan*
+ActivePlan()
+{
+    return g_active_plan.load(std::memory_order_relaxed);
+}
+
+bool
+ShouldInject(FaultSite site)
+{
+    FaultPlan* plan = g_active_plan.load(std::memory_order_relaxed);
+    return plan != nullptr && plan->ShouldFire(site);
+}
+
+void
+MaybeThrow(FaultSite site, const char* what)
+{
+    if (ShouldInject(site)) throw InjectedFault(what);
+}
+
+ScopedWorkerFaults::ScopedWorkerFaults(uint64_t stall_us)
+{
+    g_stall_us.store(stall_us, std::memory_order_relaxed);
+    SetChunkFaultHookForTest(&ChunkHook);
+}
+
+ScopedWorkerFaults::~ScopedWorkerFaults()
+{
+    SetChunkFaultHookForTest(nullptr);
+}
+
+uint64_t
+CorruptFileBytes(const std::string& path, uint64_t seed, int flips,
+                 uint64_t skip_prefix)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    if (f == nullptr) {
+        throw std::runtime_error("CorruptFileBytes: cannot open " + path);
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size < 0 || static_cast<uint64_t>(size) <= skip_prefix) {
+        std::fclose(f);
+        throw std::runtime_error(
+            "CorruptFileBytes: no corruptible payload in " + path);
+    }
+    const uint64_t span = static_cast<uint64_t>(size) - skip_prefix;
+    uint64_t first_offset = 0;
+    for (int i = 0; i < flips; ++i) {
+        const uint64_t offset =
+            skip_prefix + Mix64(seed ^ static_cast<uint64_t>(i)) % span;
+        if (i == 0) first_offset = offset;
+        unsigned char byte = 0;
+        std::fseek(f, static_cast<long>(offset), SEEK_SET);
+        if (std::fread(&byte, 1, 1, f) != 1) {
+            std::fclose(f);
+            throw std::runtime_error("CorruptFileBytes: read failed in " +
+                                     path);
+        }
+        byte ^= 0xa5;  // xor with a fixed mask always changes the byte
+        std::fseek(f, static_cast<long>(offset), SEEK_SET);
+        if (std::fwrite(&byte, 1, 1, f) != 1) {
+            std::fclose(f);
+            throw std::runtime_error("CorruptFileBytes: write failed in " +
+                                     path);
+        }
+    }
+    std::fclose(f);
+    return first_offset;
+}
+
+void
+TruncateFile(const std::string& path, double fraction)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+        throw std::runtime_error("TruncateFile: cannot stat " + path);
+    }
+    const auto target = static_cast<uintmax_t>(
+        static_cast<double>(size) * fraction);
+    std::filesystem::resize_file(path, target, ec);
+    if (ec) {
+        throw std::runtime_error("TruncateFile: resize failed for " + path);
+    }
+}
+
+}  // namespace secemb::fault

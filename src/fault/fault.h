@@ -1,0 +1,214 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic, seeded fault injection for chaos testing.
+ *
+ * A FaultPlan is a replayable schedule of failures: each fault *site*
+ * (allocation, worker exception, worker stall, generation attempt) is
+ * armed either with a countdown ("fire on the Nth hit") or a rate ("fire
+ * each hit with probability p, decided by seed and hit ordinal"). Every
+ * decision is a pure function of (seed, site, hit count), so a chaos run
+ * replays bit-for-bit from its seed and failing cases are regular ctest
+ * cases, not flaky coin flips.
+ *
+ * Plans are installed process-wide with ScopedFaultInjection (RAII);
+ * instrumented code asks ShouldInject(site) at each site, which is a
+ * single relaxed atomic load when no plan is active — cheap enough to
+ * leave compiled into hot paths.
+ *
+ * Obliviousness note: fault sites key on *where* execution is (an
+ * allocation, a chunk claim, a generation attempt), never on request
+ * values — injected faults perturb load and health signals only, which is
+ * exactly the class of signal the serving layer is allowed to degrade on.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace secemb::fault {
+
+/// Thrown by every injected failure so retry logic and tests can
+/// distinguish injected transients from genuine bugs.
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+enum class FaultSite : int
+{
+    kAlloc = 0,        ///< FaultAllocator throws std::bad_alloc
+    kWorkerException,  ///< ParallelFor chunk throws InjectedFault
+    kWorkerStall,      ///< ParallelFor chunk sleeps before running
+    kGenerate,         ///< serving generation attempt fails up front
+    kCount,
+};
+
+const char* FaultSiteName(FaultSite site);
+
+/**
+ * A seeded, replayable fault schedule. Arm sites before installing the
+ * plan (arming is not thread-safe against ShouldFire); ShouldFire itself
+ * is thread-safe and may be hit concurrently from pool workers.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(uint64_t seed);
+
+    /// Fire on the `first_hit`-th hit (1-based), then every `period` hits
+    /// after that (period 0 = that one hit only), at most `max_fires`
+    /// times in total (0 = unlimited).
+    void ArmCountdown(FaultSite site, uint64_t first_hit,
+                      uint64_t period = 0, uint64_t max_fires = 1);
+
+    /// Fire each hit independently with probability `rate`; the decision
+    /// for hit k is a pure function of (seed, site, k). max_fires 0 =
+    /// unlimited.
+    void ArmRate(FaultSite site, double rate, uint64_t max_fires = 0);
+
+    void Disarm(FaultSite site);
+
+    /// Constant skew added to the serving clock while this plan is active
+    /// (positive = time appears to have advanced; models deadline overrun).
+    void set_clock_skew_ns(int64_t skew_ns);
+    int64_t clock_skew_ns() const;
+
+    /// Count one hit at `site` and decide whether the fault fires now.
+    bool ShouldFire(FaultSite site);
+
+    uint64_t hits(FaultSite site) const;
+    uint64_t fires(FaultSite site) const;
+    uint64_t seed() const { return seed_; }
+
+    /// Zero hit/fire counters (arming kept) so the same plan replays.
+    void ResetCounters();
+
+  private:
+    struct Site
+    {
+        enum class Mode
+        {
+            kOff,
+            kCountdown,
+            kRate
+        };
+        Mode mode = Mode::kOff;
+        uint64_t first_hit = 0;
+        uint64_t period = 0;
+        uint64_t max_fires = 0;
+        double rate = 0.0;
+        std::atomic<uint64_t> hits{0};
+        std::atomic<uint64_t> fires{0};
+    };
+
+    Site sites_[static_cast<int>(FaultSite::kCount)];
+    uint64_t seed_ = 0;
+    std::atomic<int64_t> clock_skew_ns_{0};
+};
+
+/** RAII: install `plan` as the process-wide active plan; restores the
+ *  previously active plan (usually none) on destruction. */
+class ScopedFaultInjection
+{
+  public:
+    explicit ScopedFaultInjection(FaultPlan* plan);
+    ~ScopedFaultInjection();
+    ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+    ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  private:
+    FaultPlan* previous_ = nullptr;
+};
+
+/// The currently installed plan, or nullptr.
+FaultPlan* ActivePlan();
+
+/// True iff a plan is active and `site` fires on this hit. A single
+/// relaxed atomic load when no plan is installed.
+bool ShouldInject(FaultSite site);
+
+/// Throw InjectedFault(what) if `site` fires on this hit.
+void MaybeThrow(FaultSite site, const char* what);
+
+/**
+ * Allocator for hot-path containers: behaves as std::allocator<T> but
+ * throws std::bad_alloc when the active plan fires kAlloc, so allocation
+ * failure in a queue push or batch assembly is forced deterministically
+ * rather than by exhausting real memory.
+ */
+template <typename T>
+struct FaultAllocator
+{
+    using value_type = T;
+
+    FaultAllocator() = default;
+    template <typename U>
+    FaultAllocator(const FaultAllocator<U>&)  // NOLINT(runtime/explicit)
+    {
+    }
+
+    T*
+    allocate(std::size_t n)
+    {
+        if (ShouldInject(FaultSite::kAlloc)) throw std::bad_alloc();
+        return std::allocator<T>{}.allocate(n);
+    }
+
+    void
+    deallocate(T* p, std::size_t n)
+    {
+        std::allocator<T>{}.deallocate(p, n);
+    }
+
+    template <typename U>
+    bool
+    operator==(const FaultAllocator<U>&) const
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const FaultAllocator<U>&) const
+    {
+        return false;
+    }
+};
+
+/**
+ * RAII: install the ParallelFor chunk hook that consults the active plan
+ * before every chunk body — kWorkerStall fires → sleep `stall_us`;
+ * kWorkerException fires → throw InjectedFault (propagated to the region
+ * caller exactly like a real worker exception). Install only while no
+ * parallel region is running.
+ */
+class ScopedWorkerFaults
+{
+  public:
+    explicit ScopedWorkerFaults(uint64_t stall_us = 100);
+    ~ScopedWorkerFaults();
+    ScopedWorkerFaults(const ScopedWorkerFaults&) = delete;
+    ScopedWorkerFaults& operator=(const ScopedWorkerFaults&) = delete;
+};
+
+/**
+ * Deterministically corrupt a file in place: flip `flips` bytes at
+ * seeded offsets in [skip_prefix, file size). Returns the first flipped
+ * offset. Throws std::runtime_error on IO failure or if the file has no
+ * corruptible payload past `skip_prefix`.
+ */
+uint64_t CorruptFileBytes(const std::string& path, uint64_t seed,
+                          int flips = 1, uint64_t skip_prefix = 0);
+
+/// Truncate the file to floor(fraction * current size) bytes.
+void TruncateFile(const std::string& path, double fraction);
+
+}  // namespace secemb::fault

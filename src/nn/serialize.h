@@ -8,6 +8,12 @@
  * equivalent facility: train once (e.g. the all-DHE DLRM of Algorithm 2),
  * save, and deploy into secure generators later. The format is a simple
  * versioned little-endian stream — not an interchange format.
+ *
+ * Loading is hardened against corrupt or truncated files: header dims and
+ * the total element count are validated against the remaining file size
+ * *before* any allocation, so a flipped header byte cannot trigger a
+ * multi-GB resize or an integer overflow. Every load error names the
+ * offending path and byte offset.
  */
 
 #include <string>

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Injectable monotonic clock for the serving pipeline. Deadlines and
+ * batch-flush timing read through a Clock so tests can skew time
+ * deterministically: FaultSkewedClock adds the active FaultPlan's
+ * clock_skew_ns to every reading, which is how the chaos suite forces
+ * deadline overruns without sleeping.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+#include "fault/fault.h"
+
+namespace secemb::serving {
+
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+    /** Monotonic nanoseconds; only differences are meaningful. */
+    virtual uint64_t NowNs() const = 0;
+};
+
+class MonotonicClock : public Clock
+{
+  public:
+    uint64_t
+    NowNs() const override
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+};
+
+/** The process-default clock (a MonotonicClock). */
+const Clock& DefaultClock();
+
+/**
+ * Applies the active FaultPlan's clock skew on top of a base clock; reads
+ * the plan at every call so a ScopedFaultInjection installed mid-run takes
+ * effect immediately. Negative skew saturates at 0.
+ */
+class FaultSkewedClock : public Clock
+{
+  public:
+    explicit FaultSkewedClock(const Clock* base = nullptr)
+        : base_(base != nullptr ? base : &DefaultClock())
+    {
+    }
+
+    uint64_t
+    NowNs() const override
+    {
+        const uint64_t now = base_->NowNs();
+        fault::FaultPlan* plan = fault::ActivePlan();
+        if (plan == nullptr) return now;
+        const int64_t skew = plan->clock_skew_ns();
+        if (skew >= 0) return now + static_cast<uint64_t>(skew);
+        const uint64_t back = static_cast<uint64_t>(-skew);
+        return now > back ? now - back : 0;
+    }
+
+  private:
+    const Clock* base_;
+};
+
+inline const Clock&
+DefaultClock()
+{
+    static const MonotonicClock clock;
+    return clock;
+}
+
+}  // namespace secemb::serving

@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Typed results for the serving pipeline. Every admission or serving
+ * failure is reported as a Status with a machine-checkable code — callers
+ * are never blocked indefinitely and never see an untyped exception from
+ * Submit(); chaos tests assert on these codes per fault class.
+ */
+
+#include <string>
+
+namespace secemb::serving {
+
+enum class StatusCode : int
+{
+    kOk = 0,
+    /// Admission control rejected the request: the bounded queue is full.
+    kShed,
+    /// The server is shutting down (or already shut down); in-flight
+    /// requests still drain, new ones get this.
+    kShutdown,
+    /// The request's deadline expired before generation started.
+    kDeadlineExceeded,
+    /// Allocation failure persisted through every retry.
+    kResourceExhausted,
+    /// Malformed request (unknown feature, empty batch, bad offsets,
+    /// out-of-range index).
+    kInvalidArgument,
+    /// A non-transient error, or transient faults persisted through every
+    /// retry.
+    kInternal,
+};
+
+inline const char*
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+        case StatusCode::kOk: return "OK";
+        case StatusCode::kShed: return "SHED";
+        case StatusCode::kShutdown: return "SHUTDOWN";
+        case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+        case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+        case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+        case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+struct Status
+{
+    StatusCode code = StatusCode::kOk;
+    std::string message;
+
+    bool ok() const { return code == StatusCode::kOk; }
+
+    static Status Ok() { return {}; }
+
+    static Status
+    Error(StatusCode code, std::string message)
+    {
+        return {code, std::move(message)};
+    }
+
+    std::string
+    ToString() const
+    {
+        std::string s = StatusCodeName(code);
+        if (!message.empty()) {
+            s += ": ";
+            s += message;
+        }
+        return s;
+    }
+};
+
+}  // namespace secemb::serving

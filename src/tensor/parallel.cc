@@ -30,6 +30,10 @@ constexpr int kMaxPoolThreads = 256;
 std::atomic<uint32_t> jitter_max_spin{0};
 std::atomic<uint64_t> jitter_state{0};
 
+/// Fault-injection hook (SetChunkFaultHookForTest): consulted before every
+/// chunk body, on pool and inline paths alike.
+std::atomic<ChunkFaultHook> chunk_fault_hook{nullptr};
+
 void
 JitterSpin()
 {
@@ -201,6 +205,10 @@ class ThreadPool
             const int64_t begin = c * task_.chunk;
             const int64_t end = std::min(task_.n, begin + task_.chunk);
             try {
+                if (ChunkFaultHook hook = chunk_fault_hook.load(
+                        std::memory_order_relaxed)) {
+                    hook(begin, end);
+                }
                 (*task_.fn)(begin, end);
             } catch (...) {
                 std::lock_guard<std::mutex> lk(mu_);
@@ -277,6 +285,10 @@ ParallelFor(int64_t n, int nthreads,
         // Inline path: single-threaded request, tiny n, or a nested call
         // from inside another region (running it on the pool would
         // deadlock on region serialisation).
+        if (ChunkFaultHook hook =
+                chunk_fault_hook.load(std::memory_order_relaxed)) {
+            hook(0, n);
+        }
         fn(0, n);
         return;
     }
@@ -308,6 +320,12 @@ SetScheduleJitterForTest(uint32_t max_spin, uint64_t seed)
 {
     jitter_state.store(seed, std::memory_order_relaxed);
     jitter_max_spin.store(max_spin, std::memory_order_relaxed);
+}
+
+void
+SetChunkFaultHookForTest(ChunkFaultHook hook)
+{
+    chunk_fault_hook.store(hook, std::memory_order_relaxed);
 }
 
 ThreadPoolStats

@@ -69,6 +69,20 @@ bool InParallelRegion();
  */
 void SetScheduleJitterForTest(uint32_t max_spin, uint64_t seed);
 
+/**
+ * Test hook invoked by whichever participant claimed a chunk, immediately
+ * before the region body runs on that chunk's [begin, end) range. The
+ * fault-injection framework (src/fault) installs a hook here to force
+ * worker stalls and exceptions inside parallel regions: an exception
+ * thrown by the hook propagates exactly like one thrown by the region body
+ * (captured, region quiesced, rethrown on the calling thread). The hook
+ * also fires on the inline path (nthreads <= 1 or nested regions) so
+ * injection does not depend on the thread count. nullptr restores normal
+ * operation. Install only while no region is running.
+ */
+using ChunkFaultHook = void (*)(int64_t begin, int64_t end);
+void SetChunkFaultHookForTest(ChunkFaultHook hook);
+
 /** Point-in-time observability of the persistent pool (tests/benches). */
 struct ThreadPoolStats
 {

@@ -69,11 +69,56 @@ TEST(ArgsTest, ParsesIntDoubleBool)
     EXPECT_FALSE(args.GetBool("--other"));
 }
 
-TEST(ArgsTest, TrailingFlagWithoutValueUsesDefault)
+TEST(ArgsTest, TrailingFlagWithoutValueIsAnError)
 {
+    // A present flag with no value is a user mistake, not a request for
+    // the default — silently proceeding used to mask typos like
+    // `--steps` with the value forgotten.
     const char* argv[] = {"prog", "--scale"};
     Args args(2, const_cast<char**>(argv));
-    EXPECT_EQ(args.GetInt("--scale", 42), 42);
+    EXPECT_THROW(args.GetInt("--scale", 42), std::runtime_error);
+    EXPECT_THROW(args.GetString("--scale", "d"), std::runtime_error);
+    // Absent flags still fall back to the default.
+    EXPECT_EQ(args.GetInt("--missing", 42), 42);
+}
+
+TEST(ArgsTest, MalformedIntValuesAreRejected)
+{
+    const char* argv[] = {"prog",    "--steps", "abc",  "--junk", "12x",
+                          "--big",   "99999999999999999999999999",
+                          "--float", "1.5",     "--neg", "-17"};
+    Args args(11, const_cast<char**>(argv));
+    // Not a number at all.
+    EXPECT_THROW(args.GetInt("--steps", 1), std::runtime_error);
+    // Trailing junk (std::stoll used to silently return 12 here).
+    EXPECT_THROW(args.GetInt("--junk", 1), std::runtime_error);
+    // Out of int64 range.
+    EXPECT_THROW(args.GetInt("--big", 1), std::runtime_error);
+    // A fractional value is not an integer.
+    EXPECT_THROW(args.GetInt("--float", 1), std::runtime_error);
+    // Signed values parse.
+    EXPECT_EQ(args.GetInt("--neg", 1), -17);
+    // The error names the flag and the offending text.
+    try {
+        args.GetInt("--steps", 1);
+        FAIL() << "expected a parse error";
+    } catch (const std::runtime_error& err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("--steps"), std::string::npos);
+        EXPECT_NE(what.find("abc"), std::string::npos);
+    }
+}
+
+TEST(ArgsTest, MalformedDoubleValuesAreRejected)
+{
+    const char* argv[] = {"prog", "--ratio", "2.5e",   "--word", "nope",
+                          "--huge", "1e9999", "--ok",  "3.25e-2"};
+    Args args(9, const_cast<char**>(argv));
+    EXPECT_THROW(args.GetDouble("--ratio", 1.0), std::runtime_error);
+    EXPECT_THROW(args.GetDouble("--word", 1.0), std::runtime_error);
+    EXPECT_THROW(args.GetDouble("--huge", 1.0), std::runtime_error);
+    EXPECT_DOUBLE_EQ(args.GetDouble("--ok", 0.0), 3.25e-2);
+    EXPECT_DOUBLE_EQ(args.GetDouble("--missing", 0.5), 0.5);
 }
 
 TEST(ArgsTest, GetStringReturnsValueOrDefault)
@@ -85,8 +130,8 @@ TEST(ArgsTest, GetStringReturnsValueOrDefault)
     EXPECT_EQ(args.GetString("--name", "x"), "linear scan");
     EXPECT_EQ(args.GetString("--missing"), "");
     EXPECT_EQ(args.GetString("--missing", "fallback"), "fallback");
-    // A flag in last position has no value to return.
-    EXPECT_EQ(args.GetString("--tail", "dflt"), "dflt");
+    // A flag in last position has no value: that is an error now.
+    EXPECT_THROW(args.GetString("--tail", "dflt"), std::runtime_error);
 }
 
 TEST(TimeCallSamplesTest, ReturnsOneSamplePerRep)

@@ -89,6 +89,60 @@ TEST(ThreadPoolTest, PoolSurvivesWorkerException)
     EXPECT_EQ(GetThreadPoolStats().threads, before.threads);
 }
 
+TEST(ThreadPoolTest, HundredThrowingRegionsLeakNoWorkers)
+{
+    // Fault-resilience regression: a worker exception (including injected
+    // ones) must leave the pool fully reusable. Warm the pool, run 100
+    // throwing regions, then a clean region — stats must stay consistent
+    // and the thread count must not drift (no leaked or terminated
+    // workers).
+    std::atomic<int64_t> warm{0};
+    ParallelFor(256, 4, [&](int64_t b, int64_t e) { warm += e - b; });
+    const ThreadPoolStats before = GetThreadPoolStats();
+
+    constexpr int kRounds = 100;
+    for (int round = 0; round < kRounds; ++round) {
+        EXPECT_THROW(
+            ParallelFor(256, 4,
+                        [&](int64_t b, int64_t) {
+                            if (b == 0) {
+                                throw std::runtime_error("injected");
+                            }
+                        }),
+            std::runtime_error);
+    }
+
+    std::vector<std::atomic<int>> hits(2048);
+    ParallelFor(2048, 4, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+    const ThreadPoolStats after = GetThreadPoolStats();
+    EXPECT_EQ(after.threads, before.threads);
+    EXPECT_EQ(after.regions, before.regions + kRounds + 1);
+    EXPECT_GE(after.helper_joins, before.helper_joins);
+}
+
+TEST(ThreadPoolTest, ChunkFaultHookThrowsLikeWorkerException)
+{
+    // The fault-injection hook fires per chunk and must propagate exactly
+    // like an exception from the region body, on both the pool and the
+    // inline path.
+    SetChunkFaultHookForTest([](int64_t begin, int64_t) {
+        if (begin == 0) throw std::runtime_error("hook boom");
+    });
+    EXPECT_THROW(ParallelFor(1000, 4, [](int64_t, int64_t) {}),
+                 std::runtime_error);
+    EXPECT_THROW(ParallelFor(1000, 1, [](int64_t, int64_t) {}),
+                 std::runtime_error);
+    SetChunkFaultHookForTest(nullptr);
+
+    std::atomic<int64_t> total{0};
+    ParallelFor(1000, 4, [&](int64_t b, int64_t e) { total += e - b; });
+    EXPECT_EQ(total.load(), 1000);
+}
+
 TEST(ThreadPoolTest, OversubscriptionBeyondHardwareCompletes)
 {
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());

@@ -156,5 +156,111 @@ TEST(ObliviousTopKTest, EdgeCases)
     EXPECT_EQ(all, (std::vector<int64_t>{0, 2, 1}));
 }
 
+// ---------------------------------------------------------------------------
+// Corrupt/truncated checkpoint hardening: a flipped header byte must fail
+// with a typed error naming path and offset — never a multi-GB allocation,
+// an integer overflow, or a crash.
+
+namespace {
+
+void
+OverwriteU64At(const std::string& path, long offset, uint64_t value)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    ASSERT_EQ(std::fwrite(&value, sizeof(value), 1, f), 1u);
+    std::fclose(f);
+}
+
+}  // namespace
+
+// File layout: magic(8) version(8) count(8) | ndims(8) dims(8 each) data.
+constexpr long kNdimsOffset = 24;
+constexpr long kFirstDimOffset = 32;
+
+TEST_F(SerializeTest, CorruptDimCannotTriggerGiantAllocation)
+{
+    Rng rng(2);
+    const std::string path = Track(TmpPath("corrupt_dim.bin"));
+    nn::SaveTensor(Tensor::Randn({4, 3}, rng), path);
+    // Claim the first dimension is 2^60 rows: the loader must reject it
+    // against the ~80-byte file instead of resizing to exabytes.
+    OverwriteU64At(path, kFirstDimOffset, uint64_t{1} << 60);
+    try {
+        nn::LoadTensor(path);
+        FAIL() << "expected a corrupt-header error";
+    } catch (const std::runtime_error& err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    }
+}
+
+TEST_F(SerializeTest, DimProductOverflowIsRejected)
+{
+    Rng rng(3);
+    const std::string path = Track(TmpPath("overflow_dims.bin"));
+    nn::SaveTensor(Tensor::Randn({4, 3}, rng), path);
+    // Two dims of 2^33 each: the naive product overflows uint64 back into
+    // a small number; the bounded running product must catch it.
+    OverwriteU64At(path, kFirstDimOffset, uint64_t{1} << 33);
+    OverwriteU64At(path, kFirstDimOffset + 8, uint64_t{1} << 33);
+    EXPECT_THROW(nn::LoadTensor(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, AbsurdRankIsRejectedWithOffset)
+{
+    Rng rng(4);
+    const std::string path = Track(TmpPath("corrupt_rank.bin"));
+    nn::SaveTensor(Tensor::Randn({4, 3}, rng), path);
+    OverwriteU64At(path, kNdimsOffset, 0xffffffffULL);
+    try {
+        nn::LoadTensor(path);
+        FAIL() << "expected a corrupt-rank error";
+    } catch (const std::runtime_error& err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("rank"), std::string::npos) << what;
+        EXPECT_NE(what.find(std::to_string(kNdimsOffset)),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST_F(SerializeTest, TruncatedPayloadIsRejected)
+{
+    Rng rng(5);
+    const std::string path = Track(TmpPath("truncated.bin"));
+    nn::SaveTensor(Tensor::Randn({16, 8}, rng), path);
+    std::filesystem::resize_file(path,
+                                 std::filesystem::file_size(path) / 2);
+    EXPECT_THROW(nn::LoadTensor(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncatedHeaderIsRejected)
+{
+    Rng rng(6);
+    const std::string path = Track(TmpPath("tiny.bin"));
+    nn::SaveTensor(Tensor::Randn({4, 4}, rng), path);
+    std::filesystem::resize_file(path, 12);  // cuts inside the header
+    EXPECT_THROW(nn::LoadTensor(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, LoadParametersReportsShapeMismatchWithContext)
+{
+    Rng rng_a(7), rng_b(8);
+    nn::Linear a(4, 3, rng_a), b(4, 3, rng_b);
+    const std::string path = Track(TmpPath("params.bin"));
+    nn::SaveParameters(a.Parameters(), path);
+    // Grow the second dim claimed for parameter 0: shape mismatch.
+    OverwriteU64At(path, kFirstDimOffset, 5);
+    try {
+        nn::LoadParameters(b.Parameters(), path);
+        FAIL() << "expected an error";
+    } catch (const std::runtime_error& err) {
+        EXPECT_NE(std::string(err.what()).find(path), std::string::npos);
+    }
+}
+
 }  // namespace
 }  // namespace secemb
