@@ -24,6 +24,7 @@
 #include "oram/crypto.h"
 #include "oram/tree_oram.h"
 #include "tensor/gemm.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/parallel.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
@@ -298,6 +299,161 @@ BENCHMARK(BM_OramAccess)
     ->Arg(1)
     ->ArgNames({"kind(0=Path,1=Circuit)"});
 
+// ---------------------------------------------------------------------------
+// gemm-kernel mode: naive vs packed vs packed+fused epilogue
+//
+// `micro_primitives gemm-kernel --json BENCH_gemm.json` runs only this
+// group, at the DHE decoder FC shapes (batch 256, 1024->512->256->64).
+// The three variants isolate where the speedup comes from: the blocked
+// SIMD microkernels (naive -> packed) and the fused bias+activation
+// epilogue replacing two extra passes over C (packed -> fused).
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kDecoderBatch = 256;
+
+/** Separate bias-broadcast + ReLU passes (what fusion eliminates). */
+void
+BiasReluPasses(Tensor& c, const Tensor& bias)
+{
+    const int64_t m = c.size(0), n = c.size(1);
+    float* cp = c.data();
+    const float* bp = bias.data();
+    for (int64_t i = 0; i < m; ++i) {
+        float* crow = cp + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += bp[j];
+    }
+    for (int64_t i = 0; i < m * n; ++i) cp[i] = std::max(0.0f, cp[i]);
+}
+
+void
+SetGemmCounters(benchmark::State& state, int64_t m, int64_t k, int64_t n)
+{
+    state.counters["flops"] = benchmark::Counter(
+        static_cast<double>(2 * m * k * n),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void
+BM_GemmKernelNaive(benchmark::State& state)
+{
+    const int64_t m = kDecoderBatch, k = state.range(0), n = state.range(1);
+    Rng rng(21);
+    const Tensor x = Tensor::Randn({m, k}, rng);
+    const Tensor w = Tensor::Randn({k, n}, rng);
+    const Tensor bias = Tensor::Randn({n}, rng);
+    Tensor c({m, n});
+    for (auto _ : state) {
+        GemmNaive(x, w, c);
+        BiasReluPasses(c, bias);
+        benchmark::DoNotOptimize(c.data());
+    }
+    SetGemmCounters(state, m, k, n);
+}
+BENCHMARK(BM_GemmKernelNaive)
+    ->Args({1024, 512})
+    ->Args({512, 256})
+    ->Args({256, 64})
+    ->ArgNames({"k", "n"});
+
+void
+BM_GemmKernelPacked(benchmark::State& state)
+{
+    // Packed SIMD kernels + persistent weight cache, but bias/ReLU still
+    // run as separate passes — isolates the microkernel win.
+    const int64_t m = kDecoderBatch, k = state.range(0), n = state.range(1);
+    Rng rng(21);
+    const Tensor x = Tensor::Randn({m, k}, rng);
+    const Tensor w = Tensor::Randn({k, n}, rng);
+    const Tensor bias = Tensor::Randn({n}, rng);
+    Tensor c({m, n});
+    for (auto _ : state) {
+        const auto packed = kernels::PackedWeightCache::Instance().Get(
+            w.data(), k, n, /*transposed_src=*/false);
+        kernels::GemmArgs args;
+        args.a = x.data();
+        args.b = packed.get();
+        args.c = c.data();
+        args.m = m;
+        kernels::GemmPacked(args);
+        BiasReluPasses(c, bias);
+        benchmark::DoNotOptimize(c.data());
+    }
+    SetGemmCounters(state, m, k, n);
+    kernels::PackedWeightCache::Instance().Clear();
+}
+BENCHMARK(BM_GemmKernelPacked)
+    ->Args({1024, 512})
+    ->Args({512, 256})
+    ->Args({256, 64})
+    ->ArgNames({"k", "n"});
+
+void
+BM_GemmKernelPackedFused(benchmark::State& state)
+{
+    // The production path: packed kernels + bias/ReLU fused into the
+    // GEMM's final store pass.
+    const int64_t m = kDecoderBatch, k = state.range(0), n = state.range(1);
+    Rng rng(21);
+    const Tensor x = Tensor::Randn({m, k}, rng);
+    const Tensor w = Tensor::Randn({k, n}, rng);
+    const Tensor bias = Tensor::Randn({n}, rng);
+    Tensor c({m, n});
+    for (auto _ : state) {
+        AffineActForward(x, w, bias, c, 1, kernels::Activation::kRelu);
+        benchmark::DoNotOptimize(c.data());
+    }
+    SetGemmCounters(state, m, k, n);
+    kernels::PackedWeightCache::Instance().Clear();
+}
+BENCHMARK(BM_GemmKernelPackedFused)
+    ->Args({1024, 512})
+    ->Args({512, 256})
+    ->Args({256, 64})
+    ->ArgNames({"k", "n"});
+
+/** Full decoder chain 1024->512->256->64; 0 = naive, 1 = packed+fused. */
+void
+BM_GemmKernelDecoderChain(benchmark::State& state)
+{
+    const bool fused = state.range(0) != 0;
+    static const int64_t kSizes[] = {1024, 512, 256, 64};
+    Rng rng(22);
+    const Tensor x = Tensor::Randn({kDecoderBatch, kSizes[0]}, rng);
+    std::vector<Tensor> weights, biases, outs;
+    for (int l = 0; l < 3; ++l) {
+        weights.push_back(
+            Tensor::Randn({kSizes[l], kSizes[l + 1]}, rng));
+        biases.push_back(Tensor::Randn({kSizes[l + 1]}, rng));
+        outs.push_back(Tensor({kDecoderBatch, kSizes[l + 1]}));
+    }
+    int64_t flops = 0;
+    for (int l = 0; l < 3; ++l) {
+        flops += 2 * kDecoderBatch * kSizes[l] * kSizes[l + 1];
+    }
+    for (auto _ : state) {
+        const Tensor* in = &x;
+        for (int l = 0; l < 3; ++l) {
+            if (fused) {
+                AffineActForward(*in, weights[l], biases[l], outs[l], 1,
+                                 kernels::Activation::kRelu);
+            } else {
+                GemmNaive(*in, weights[l], outs[l]);
+                BiasReluPasses(outs[l], biases[l]);
+            }
+            in = &outs[l];
+        }
+        benchmark::DoNotOptimize(outs.back().data());
+    }
+    state.counters["flops"] = benchmark::Counter(
+        static_cast<double>(flops),
+        benchmark::Counter::kIsIterationInvariantRate);
+    kernels::PackedWeightCache::Instance().Clear();
+}
+BENCHMARK(BM_GemmKernelDecoderChain)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"fused(0=naive,1=packed+fused)"});
+
 /**
  * Console reporter that additionally captures every run so main() can
  * emit the secemb-bench-v1 JSON document next to the usual table.
@@ -344,18 +500,32 @@ class CollectingReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char** argv)
 {
-    // Peel off --json <path> (ours) before google-benchmark sees the
-    // command line; everything else passes through untouched.
+    // Peel off --json <path> and the optional `gemm-kernel` mode word
+    // (ours) before google-benchmark sees the command line; everything
+    // else passes through untouched.
     std::string json_path;
+    std::string report_name = "micro_primitives";
+    bool gemm_mode = false;
+    bool user_filter = false;
     std::vector<char*> passthrough;
     passthrough.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        if (i == 1 && std::strcmp(argv[i], "gemm-kernel") == 0) {
+            gemm_mode = true;
+            report_name = "gemm_kernel";
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
         } else {
+            if (std::strncmp(argv[i], "--benchmark_filter=", 19) == 0) {
+                user_filter = true;
+            }
             passthrough.push_back(argv[i]);
         }
     }
+    // The mode restricts the run to the kernel comparison unless the
+    // caller supplied an explicit filter of their own.
+    static char gemm_filter[] = "--benchmark_filter=^BM_GemmKernel";
+    if (gemm_mode && !user_filter) passthrough.push_back(gemm_filter);
     int filtered_argc = static_cast<int>(passthrough.size());
     benchmark::Initialize(&filtered_argc, passthrough.data());
     if (benchmark::ReportUnrecognizedArguments(filtered_argc,
@@ -368,7 +538,7 @@ main(int argc, char** argv)
     benchmark::Shutdown();
 
     if (!json_path.empty()) {
-        secemb::bench::BenchReport report("micro_primitives");
+        secemb::bench::BenchReport report(report_name);
         for (const auto& run : reporter.captured()) {
             auto& result = report.AddResult(run.name);
             result.latency = secemb::bench::LatencyStats::FromMean(

@@ -4,10 +4,12 @@
 #
 # Builds the repo, runs the leakage-labelled test suite (differential
 # trace fuzzing, statistical fixed-vs-random checks, golden-trace
-# snapshots), then rebuilds the verify harness under ASan+UBSan and
-# re-runs a full secemb-verify sweep under instrumentation. Finally
-# chains into scripts/chaos.sh so the fault-injected serving path is
-# certified alongside the fault-free generators.
+# snapshots), runs the kernel gate under both the scalar and the widest
+# GEMM tier (SECEMB_ISA), then rebuilds the verify harness under
+# ASan+UBSan and re-runs a full secemb-verify sweep under
+# instrumentation. Finally chains into scripts/chaos.sh so the
+# fault-injected serving path is certified alongside the fault-free
+# generators.
 #
 # Usage:
 #   scripts/certify.sh [--skip-asan] [--skip-chaos] [--seed N]
@@ -32,12 +34,20 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-echo "== [1/4] Build =="
+echo "== [1/5] Build =="
 cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
-echo "== [2/4] Leakage test suite (ctest -L leakage) =="
+echo "== [2/5] Leakage test suite (ctest -L leakage) =="
 ctest --test-dir "${BUILD_DIR}" -L leakage --output-on-failure
+
+echo "== [3/5] Kernel gate under forced scalar tier (SECEMB_ISA=scalar) =="
+SECEMB_ISA=scalar ctest --test-dir "${BUILD_DIR}" -L kernels \
+    --output-on-failure
+
+echo "== [3/5] Kernel gate under the widest supported tier =="
+env -u SECEMB_ISA ctest --test-dir "${BUILD_DIR}" -L kernels \
+    --output-on-failure
 
 echo "== Full certification sweep (secemb-verify, seed ${SEED}) =="
 "${BUILD_DIR}/src/verify/secemb-verify" --seed="${SEED}" \
@@ -45,9 +55,9 @@ echo "== Full certification sweep (secemb-verify, seed ${SEED}) =="
 echo "report: ${BUILD_DIR}/certify_report.json"
 
 if [[ "${SKIP_ASAN}" -eq 1 ]]; then
-    echo "== [3/4] ASan verify run skipped (--skip-asan) =="
+    echo "== [4/5] ASan verify run skipped (--skip-asan) =="
 else
-    echo "== [3/4] ASan+UBSan instrumented verify sweep =="
+    echo "== [4/5] ASan+UBSan instrumented verify sweep =="
     cmake -S "${REPO_ROOT}" -B "${ASAN_BUILD_DIR}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSECEMB_SANITIZE=address
     cmake --build "${ASAN_BUILD_DIR}" -j"$(nproc)" --target secemb-verify
@@ -55,9 +65,9 @@ else
 fi
 
 if [[ "${SKIP_CHAOS}" -eq 1 ]]; then
-    echo "== [4/4] Chaos gate skipped (--skip-chaos) =="
+    echo "== [5/5] Chaos gate skipped (--skip-chaos) =="
 else
-    echo "== [4/4] Chaos gate (scripts/chaos.sh) =="
+    echo "== [5/5] Chaos gate (scripts/chaos.sh) =="
     if [[ "${SKIP_ASAN}" -eq 1 ]]; then
         "${REPO_ROOT}/scripts/chaos.sh" --skip-sanitizers
     else

@@ -19,7 +19,8 @@ TransformerBlock::TransformerBlock(const GptConfig& config, Rng& rng,
     : ln1_(config.dim),
       attn_(config.dim, config.num_heads, rng, nthreads),
       ln2_(config.dim),
-      fc1_(config.dim, config.ffn_mult * config.dim, rng, nthreads),
+      fc1_(config.dim, config.ffn_mult * config.dim, rng, nthreads,
+           nn::Activation::kGelu),
       fc2_(config.ffn_mult * config.dim, config.dim, rng, nthreads)
 {
 }
@@ -29,7 +30,7 @@ TransformerBlock::Forward(const Tensor& x, int64_t batch, int64_t seq)
 {
     Tensor h = x;
     h.AddInPlace(attn_.Forward(ln1_.Forward(x), batch, seq));
-    Tensor ff = fc2_.Forward(gelu_.Forward(fc1_.Forward(ln2_.Forward(h))));
+    Tensor ff = fc2_.Forward(fc1_.Forward(ln2_.Forward(h)));
     return h.AddInPlace(ff), h;
 }
 
@@ -39,8 +40,7 @@ TransformerBlock::Backward(const Tensor& grad_out)
     // h2 = h + ff(h): grad flows to both branches.
     Tensor gh = grad_out;
     const Tensor gff =
-        ln2_.Backward(fc1_.Backward(gelu_.Backward(fc2_.Backward(
-            grad_out))));
+        ln2_.Backward(fc1_.Backward(fc2_.Backward(grad_out)));
     gh.AddInPlace(gff);
     // h = x + attn(ln1(x)).
     Tensor gx = gh;
@@ -56,7 +56,7 @@ TransformerBlock::ForwardCached(const Tensor& x, int64_t batch,
     Tensor h = x;
     h.AddInPlace(
         attn_.ForwardCached(ln1_.Forward(x), batch, new_seq, cache));
-    Tensor ff = fc2_.Forward(gelu_.Forward(fc1_.Forward(ln2_.Forward(h))));
+    Tensor ff = fc2_.Forward(fc1_.Forward(ln2_.Forward(h)));
     return h.AddInPlace(ff), h;
 }
 

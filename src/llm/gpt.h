@@ -44,8 +44,7 @@ class TransformerBlock
     nn::LayerNorm ln1_;
     CausalSelfAttention attn_;
     nn::LayerNorm ln2_;
-    nn::Linear fc1_;
-    nn::Gelu gelu_;
+    nn::Linear fc1_;  ///< GELU fused into the GEMM epilogue
     nn::Linear fc2_;
 };
 

@@ -12,8 +12,10 @@ namespace secemb::nn {
 // Linear
 // ---------------------------------------------------------------------------
 
-Linear::Linear(int64_t in, int64_t out, Rng& rng, int nthreads)
-    : w_(Tensor()), b_(Tensor::Zeros({out})), nthreads_(nthreads)
+Linear::Linear(int64_t in, int64_t out, Rng& rng, int nthreads,
+               Activation act)
+    : w_(Tensor()), b_(Tensor::Zeros({out})), nthreads_(nthreads),
+      act_(act)
 {
     const float bound = std::sqrt(6.0f / static_cast<float>(in));
     w_ = Parameter(Tensor::Uniform({in, out}, rng, -bound, bound));
@@ -25,7 +27,15 @@ Linear::Forward(const Tensor& x)
     assert(x.dim() == 2 && x.size(1) == in_features());
     cached_x_ = x;
     Tensor y({x.size(0), out_features()});
-    AffineForward(x, w_.value, b_.value, y, nthreads_);
+    // GELU's gradient needs the pre-activation, which the fused epilogue
+    // saves in the same pass; ReLU's gradient only needs the output sign.
+    Tensor* preact = nullptr;
+    if (act_ == Activation::kGelu) {
+        cached_preact_ = Tensor({x.size(0), out_features()});
+        preact = &cached_preact_;
+    }
+    AffineActForward(x, w_.value, b_.value, y, nthreads_, act_, preact);
+    if (act_ == Activation::kRelu) cached_y_ = y;
     return y;
 }
 
@@ -34,23 +44,43 @@ Linear::Backward(const Tensor& grad_out)
 {
     assert(grad_out.size(0) == cached_x_.size(0));
     assert(grad_out.size(1) == out_features());
+    const int64_t m = grad_out.size(0), n = grad_out.size(1);
+
+    // Gradient through the fused activation (branchless, like ReLU's
+    // standalone module: the blend depends on data values, not control
+    // flow).
+    Tensor g = grad_out;
+    if (act_ == Activation::kRelu) {
+        float* gp = g.data();
+        const float* yp = cached_y_.data();
+        for (int64_t i = 0; i < g.numel(); ++i) {
+            const uint64_t positive =
+                oblivious::BoolToMask(yp[i] > 0.0f ? 1 : 0);
+            gp[i] = oblivious::SelectF32(positive, gp[i], 0.0f);
+        }
+    } else if (act_ == Activation::kGelu) {
+        float* gp = g.data();
+        const float* pre = cached_preact_.data();
+        for (int64_t i = 0; i < g.numel(); ++i) {
+            gp[i] *= kernels::GeluGradF(pre[i]);
+        }
+    }
 
     // dW += x^T g ; accumulate into existing grad.
     Tensor dw({in_features(), out_features()});
-    GemmAT(cached_x_, grad_out, dw, nthreads_);
+    GemmAT(cached_x_, g, dw, nthreads_);
     w_.grad.AddInPlace(dw);
 
     // db += column sums of g.
-    const int64_t m = grad_out.size(0), n = grad_out.size(1);
     for (int64_t i = 0; i < m; ++i) {
-        const float* g = grad_out.data() + i * n;
+        const float* gi = g.data() + i * n;
         float* db = b_.grad.data();
-        for (int64_t j = 0; j < n; ++j) db[j] += g[j];
+        for (int64_t j = 0; j < n; ++j) db[j] += gi[j];
     }
 
-    // dx = g W^T.
+    // dx = g W^T (weights packed once in the persistent cache).
     Tensor dx({m, in_features()});
-    GemmBT(grad_out, w_.value, dx, nthreads_);
+    GemmWeightBT(g, w_.value, dx, nthreads_);
     return dx;
 }
 
@@ -139,36 +169,13 @@ Tanh::Backward(const Tensor& grad_out)
     return dx;
 }
 
-namespace {
-
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-
-float
-GeluScalar(float x)
-{
-    const float inner = kGeluC * (x + 0.044715f * x * x * x);
-    return 0.5f * x * (1.0f + std::tanh(inner));
-}
-
-float
-GeluGradScalar(float x)
-{
-    const float x3 = x * x * x;
-    const float inner = kGeluC * (x + 0.044715f * x3);
-    const float t = std::tanh(inner);
-    const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
-    return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
-}
-
-}  // namespace
-
 Tensor
 Gelu::Forward(const Tensor& x)
 {
     cached_x_ = x;
     Tensor y = x;
     float* p = y.data();
-    for (int64_t i = 0; i < y.numel(); ++i) p[i] = GeluScalar(p[i]);
+    for (int64_t i = 0; i < y.numel(); ++i) p[i] = kernels::GeluF(p[i]);
     return y;
 }
 
@@ -178,7 +185,9 @@ Gelu::Backward(const Tensor& grad_out)
     Tensor dx = grad_out;
     float* d = dx.data();
     const float* x = cached_x_.data();
-    for (int64_t i = 0; i < dx.numel(); ++i) d[i] *= GeluGradScalar(x[i]);
+    for (int64_t i = 0; i < dx.numel(); ++i) {
+        d[i] *= kernels::GeluGradF(x[i]);
+    }
     return dx;
 }
 
@@ -325,12 +334,12 @@ MakeMlp(const std::vector<int64_t>& sizes, Rng& rng, bool final_sigmoid,
     assert(sizes.size() >= 2);
     auto mlp = std::make_unique<Sequential>();
     for (size_t i = 0; i + 1 < sizes.size(); ++i) {
-        mlp->Add(std::make_unique<Linear>(sizes[i], sizes[i + 1], rng,
-                                          nthreads));
         const bool last = (i + 2 == sizes.size());
-        if (!last) {
-            mlp->Add(std::make_unique<ReLU>());
-        } else if (final_sigmoid) {
+        const Activation act =
+            last ? Activation::kIdentity : Activation::kRelu;
+        mlp->Add(std::make_unique<Linear>(sizes[i], sizes[i + 1], rng,
+                                          nthreads, act));
+        if (last && final_sigmoid) {
             mlp->Add(std::make_unique<Sigmoid>());
         }
     }

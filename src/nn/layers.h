@@ -15,11 +15,24 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/rng.h"
 
 namespace secemb::nn {
 
-/** Fully-connected layer y = x W + b; x is (batch x in). */
+/** Activation fused into a Linear's GEMM epilogue. */
+using Activation = kernels::Activation;
+
+/**
+ * Fully-connected layer y = act(x W + b); x is (batch x in).
+ *
+ * The default activation is identity (a plain affine layer). With
+ * kRelu/kGelu the activation runs inside the GEMM's fused epilogue —
+ * one pass, no separate bias-add or activation sweep — and Backward
+ * applies the matching gradient before the weight/input GEMMs (ReLU
+ * from the cached output's sign, GELU from the cached pre-activation
+ * that the epilogue saves in the same pass).
+ */
 class Linear : public Module
 {
   public:
@@ -28,8 +41,10 @@ class Linear : public Module
      * @param out output features
      * @param rng weight init source (Kaiming-uniform-ish)
      * @param nthreads GEMM threads for forward/backward
+     * @param act activation fused into the forward epilogue
      */
-    Linear(int64_t in, int64_t out, Rng& rng, int nthreads = 1);
+    Linear(int64_t in, int64_t out, Rng& rng, int nthreads = 1,
+           Activation act = Activation::kIdentity);
 
     Tensor Forward(const Tensor& x) override;
     Tensor Backward(const Tensor& grad_out) override;
@@ -40,13 +55,17 @@ class Linear : public Module
     int64_t out_features() const { return w_.value.size(1); }
     Parameter& weight() { return w_; }
     Parameter& bias() { return b_; }
+    Activation activation() const { return act_; }
     void set_nthreads(int n) { nthreads_ = n; }
 
   private:
     Parameter w_;  ///< (in x out)
     Parameter b_;  ///< (out)
     Tensor cached_x_;
+    Tensor cached_y_;       ///< post-activation output (ReLU mask source)
+    Tensor cached_preact_;  ///< pre-activation (GELU gradient source)
     int nthreads_;
+    Activation act_;
 };
 
 /** Rectified linear unit with branchless (mask-blend) forward. */
@@ -149,8 +168,11 @@ void ObliviousReLUInPlace(Tensor& x);
 Tensor Softmax2D(const Tensor& logits);
 
 /**
- * Build an MLP: sizes = {in, h1, ..., out}; ReLU between layers, optional
- * sigmoid at the end (DLRM top MLP convention).
+ * Build an MLP: sizes = {in, h1, ..., out}; ReLU fused into each hidden
+ * Linear's epilogue, optional sigmoid at the end (DLRM top MLP
+ * convention). Parameter order matches the historical Linear+ReLU
+ * layout (ReLU carried no parameters), so serialized checkpoints stay
+ * compatible.
  */
 std::unique_ptr<Sequential> MakeMlp(const std::vector<int64_t>& sizes,
                                     Rng& rng, bool final_sigmoid = false,

@@ -1,6 +1,8 @@
 #include "oblivious/vector_scan.h"
 
 #include <cassert>
+#include <cstdint>
+#include <type_traits>
 
 #include "oblivious/ct_ops.h"
 #include "oblivious/scan.h"
@@ -17,10 +19,50 @@ namespace {
 // for bitwise blends; without it that reinterpret_cast is strict-aliasing
 // UB that an LTO/optimisation bump is allowed to miscompile.
 using VecI = int32_t __attribute__((vector_size(32), may_alias));
-// Memory-access view with element alignment only: tensor buffers are not
-// guaranteed 32-byte aligned.
+// Memory-access view with element alignment only, for callers handing in
+// subspans or foreign buffers without 32-byte alignment.
 using VecIU =
     int32_t __attribute__((vector_size(32), aligned(4), may_alias));
+
+/** True if p can be accessed as a naturally-aligned 32-byte vector. */
+inline bool
+IsAligned32(const void* p)
+{
+    return (reinterpret_cast<uintptr_t>(p) & 31u) == 0;
+}
+
+/**
+ * Blend-accumulate row `index` into out, touching every row. kAligned
+ * selects the memory-access vector type: VecI when both buffers are
+ * 32-byte aligned (Tensor payloads are 64-byte aligned, so this is the
+ * common case and lowers to aligned loads/stores), VecIU otherwise.
+ * The template parameter is a bool rather than the vector type itself:
+ * alignment attributes do not participate in name mangling, so
+ * ScanBlend<VecI> and ScanBlend<VecIU> would fold into one symbol at
+ * link time and silently drop the unaligned variant.
+ */
+template <bool kAligned>
+void
+ScanBlend(const float* table, int64_t rows, int64_t vecs_per_row,
+          int64_t index, float* out)
+{
+    using VecMem = std::conditional_t<kAligned, VecI, VecIU>;
+    const VecMem* src = reinterpret_cast<const VecMem*>(table);
+    VecMem* dst = reinterpret_cast<VecMem*>(out);
+    for (int64_t v = 0; v < vecs_per_row; ++v) dst[v] ^= dst[v];
+    for (int64_t r = 0; r < rows; ++r) {
+        const int32_t m = static_cast<int32_t>(
+            EqMask(static_cast<uint64_t>(r),
+                   static_cast<uint64_t>(index)));
+        const VecI mask = {m, m, m, m, m, m, m, m};
+        const VecMem* row = src + r * vecs_per_row;
+        for (int64_t v = 0; v < vecs_per_row; ++v) {
+            const VecI rv = row[v];
+            const VecI dv = dst[v];
+            dst[v] = (rv & mask) | (dv & ~mask);
+        }
+    }
+}
 #endif
 
 }  // namespace
@@ -40,23 +82,16 @@ LinearScanLookupVec(std::span<const float> table, int64_t rows,
 #if SECEMB_HAVE_VECTOR_EXT
     if (VecScanEligible(cols)) {
         // Accumulate the selected row via full-width bitwise blends: for
-        // each row r, lane mask is all-ones iff r == index.
-        const VecIU* src =
-            reinterpret_cast<const VecIU*>(table.data());
-        VecIU* dst = reinterpret_cast<VecIU*>(out.data());
+        // each row r, lane mask is all-ones iff r == index. Alignment is
+        // a public property of the buffers (never index-dependent), so
+        // this branch leaks nothing.
         const int64_t vecs_per_row = cols / kScanLanes;
-        for (int64_t v = 0; v < vecs_per_row; ++v) dst[v] ^= dst[v];
-        for (int64_t r = 0; r < rows; ++r) {
-            const int32_t m = static_cast<int32_t>(
-                EqMask(static_cast<uint64_t>(r),
-                       static_cast<uint64_t>(index)));
-            const VecI mask = {m, m, m, m, m, m, m, m};
-            const VecIU* row = src + r * vecs_per_row;
-            for (int64_t v = 0; v < vecs_per_row; ++v) {
-                const VecI rv = row[v];
-                const VecI dv = dst[v];
-                dst[v] = (rv & mask) | (dv & ~mask);
-            }
+        if (IsAligned32(table.data()) && IsAligned32(out.data())) {
+            ScanBlend<true>(table.data(), rows, vecs_per_row, index,
+                            out.data());
+        } else {
+            ScanBlend<false>(table.data(), rows, vecs_per_row, index,
+                             out.data());
         }
         return;
     }

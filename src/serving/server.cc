@@ -421,7 +421,8 @@ Server::Respond(Pending& p, Status status, Tensor embeddings, int retries,
     resp.e2e_ns = e2e;
     resp.retries = retries;
     resp.degrade_level = degrade;
-    p.promise.set_value(std::move(resp));
+    // Stats must be visible before the response is published: a client
+    // woken by the future may immediately read GetStats().
     if (ok) {
         completed_.fetch_add(1, std::memory_order_relaxed);
         TELEMETRY_COUNT("serving.completed", 1);
@@ -430,6 +431,7 @@ Server::Respond(Pending& p, Status status, Tensor embeddings, int retries,
         TELEMETRY_COUNT("serving.failed", 1);
     }
     TELEMETRY_HIST("serving.e2e.ns", e2e);
+    p.promise.set_value(std::move(resp));
 }
 
 void

@@ -10,18 +10,39 @@ namespace secemb {
 
 namespace {
 
+/**
+ * Validate all three operands of C = A * B against the public shape
+ * (m, k, n). `b_rows`/`b_cols` are what the B operand must actually be
+ * — (k, n) for Gemm, (n, k) for GemmBT — so a mismatched B fails here
+ * instead of producing silent out-of-bounds reads.
+ */
 void
 CheckMatMulShapes(const Tensor& a, const Tensor& b, const Tensor& c,
-                  int64_t m, int64_t k, int64_t n)
+                  int64_t m, int64_t k, int64_t n, int64_t b_rows,
+                  int64_t b_cols)
 {
     if (a.dim() != 2 || b.dim() != 2 || c.dim() != 2) {
         throw std::invalid_argument("Gemm: all operands must be 2-D");
     }
-    if (a.size(0) != m || a.size(1) != k || c.size(0) != m ||
-        c.size(1) != n) {
-        throw std::invalid_argument("Gemm: shape mismatch");
+    if (a.size(0) != m || a.size(1) != k) {
+        throw std::invalid_argument("Gemm: A shape mismatch");
     }
-    (void)b;
+    if (b.size(0) != b_rows || b.size(1) != b_cols) {
+        throw std::invalid_argument("Gemm: B shape mismatch");
+    }
+    if (c.size(0) != m || c.size(1) != n) {
+        throw std::invalid_argument("Gemm: C shape mismatch");
+    }
+}
+
+/** Tensor-buffer alignment contract at the kernel boundary. */
+void
+AssertKernelAlignment(const Tensor& a, const Tensor& c)
+{
+    assert(IsAligned64(a.data()));
+    assert(IsAligned64(c.data()));
+    (void)a;
+    (void)c;
 }
 
 }  // namespace
@@ -31,10 +52,160 @@ Gemm(const Tensor& a, const Tensor& b, Tensor& c, int nthreads)
 {
     const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
     if (b.size(0) != k) throw std::invalid_argument("Gemm: inner mismatch");
-    CheckMatMulShapes(a, b, c, m, k, n);
+    CheckMatMulShapes(a, b, c, m, k, n, k, n);
     TELEMETRY_SPAN("tensor.gemm");
     TELEMETRY_COUNT("tensor.gemm.calls", 1);
     TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
+    AssertKernelAlignment(a, c);
+
+    // Transient pack: A and B here are usually activations, not weights.
+    kernels::PackedB packed;
+    kernels::PackB(b.data(), k, n, /*transposed_src=*/false,
+                   kernels::ActiveIsa(), &packed);
+    kernels::GemmArgs args;
+    args.a = a.data();
+    args.b = &packed;
+    args.c = c.data();
+    args.m = m;
+    args.nthreads = nthreads;
+    kernels::GemmPacked(args);
+}
+
+void
+GemmBT(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads)
+{
+    const int64_t m = a.size(0), k = a.size(1), n = b_t.size(0);
+    if (b_t.size(1) != k) {
+        throw std::invalid_argument("GemmBT: inner mismatch");
+    }
+    CheckMatMulShapes(a, b_t, c, m, k, n, n, k);
+    TELEMETRY_SPAN("tensor.gemm_bt");
+    TELEMETRY_COUNT("tensor.gemm.calls", 1);
+    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
+    AssertKernelAlignment(a, c);
+
+    kernels::PackedB packed;
+    kernels::PackB(b_t.data(), k, n, /*transposed_src=*/true,
+                   kernels::ActiveIsa(), &packed);
+    kernels::GemmArgs args;
+    args.a = a.data();
+    args.b = &packed;
+    args.c = c.data();
+    args.m = m;
+    args.nthreads = nthreads;
+    kernels::GemmPacked(args);
+}
+
+void
+GemmWeightBT(const Tensor& a, const Tensor& w, Tensor& c, int nthreads)
+{
+    const int64_t m = a.size(0), k = a.size(1), n = w.size(0);
+    if (w.size(1) != k) {
+        throw std::invalid_argument("GemmWeightBT: inner mismatch");
+    }
+    CheckMatMulShapes(a, w, c, m, k, n, n, k);
+    TELEMETRY_SPAN("tensor.gemm_bt");
+    TELEMETRY_COUNT("tensor.gemm.calls", 1);
+    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
+    AssertKernelAlignment(a, c);
+
+    const auto packed = kernels::PackedWeightCache::Instance().Get(
+        w.data(), k, n, /*transposed_src=*/true);
+    kernels::GemmArgs args;
+    args.a = a.data();
+    args.b = packed.get();
+    args.c = c.data();
+    args.m = m;
+    args.nthreads = nthreads;
+    kernels::GemmPacked(args);
+}
+
+void
+GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads)
+{
+    const int64_t k = a_t.size(0), m = a_t.size(1), n = b.size(1);
+    if (b.size(0) != k) {
+        throw std::invalid_argument("GemmAT: inner mismatch");
+    }
+    if (c.size(0) != m || c.size(1) != n) {
+        throw std::invalid_argument("GemmAT: output shape mismatch");
+    }
+    TELEMETRY_SPAN("tensor.gemm_at");
+    TELEMETRY_COUNT("tensor.gemm.calls", 1);
+    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
+    AssertKernelAlignment(a_t, c);
+
+    kernels::PackedB packed;
+    kernels::PackB(b.data(), k, n, /*transposed_src=*/false,
+                   kernels::ActiveIsa(), &packed);
+    kernels::GemmArgs args;
+    args.a = a_t.data();
+    args.a_transposed = true;
+    args.b = &packed;
+    args.c = c.data();
+    args.m = m;
+    args.nthreads = nthreads;
+    kernels::GemmPacked(args);
+}
+
+Tensor
+MatMul(const Tensor& a, const Tensor& b, int nthreads)
+{
+    Tensor c({a.size(0), b.size(1)});
+    Gemm(a, b, c, nthreads);
+    return c;
+}
+
+void
+AffineForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+              Tensor& y, int nthreads)
+{
+    AffineActForward(x, w, bias, y, nthreads,
+                     kernels::Activation::kIdentity);
+}
+
+void
+AffineActForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                 Tensor& y, int nthreads, kernels::Activation act,
+                 Tensor* preact)
+{
+    const int64_t m = x.size(0), k = x.size(1), n = w.size(1);
+    if (w.size(0) != k) {
+        throw std::invalid_argument("AffineForward: inner mismatch");
+    }
+    CheckMatMulShapes(x, w, y, m, k, n, k, n);
+    assert(bias.empty() || bias.numel() == n);
+    assert(preact == nullptr ||
+           (preact->size(0) == m && preact->size(1) == n));
+    TELEMETRY_SPAN("tensor.affine");
+    TELEMETRY_COUNT("tensor.gemm.calls", 1);
+    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
+    AssertKernelAlignment(x, y);
+
+    const auto packed = kernels::PackedWeightCache::Instance().Get(
+        w.data(), k, n, /*transposed_src=*/false);
+    kernels::GemmArgs args;
+    args.a = x.data();
+    args.b = packed.get();
+    args.c = y.data();
+    args.m = m;
+    args.epilogue.bias = bias.empty() ? nullptr : bias.data();
+    args.epilogue.act = act;
+    args.epilogue.preact = preact == nullptr ? nullptr : preact->data();
+    args.nthreads = nthreads;
+    kernels::GemmPacked(args);
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels
+// ---------------------------------------------------------------------------
+
+void
+GemmNaive(const Tensor& a, const Tensor& b, Tensor& c, int nthreads)
+{
+    const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+    if (b.size(0) != k) throw std::invalid_argument("Gemm: inner mismatch");
+    CheckMatMulShapes(a, b, c, m, k, n, k, n);
 
     const float* ap = a.data();
     const float* bp = b.data();
@@ -55,16 +226,13 @@ Gemm(const Tensor& a, const Tensor& b, Tensor& c, int nthreads)
 }
 
 void
-GemmBT(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads)
+GemmBTNaive(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads)
 {
     const int64_t m = a.size(0), k = a.size(1), n = b_t.size(0);
     if (b_t.size(1) != k) {
         throw std::invalid_argument("GemmBT: inner mismatch");
     }
-    CheckMatMulShapes(a, b_t, c, m, k, n);
-    TELEMETRY_SPAN("tensor.gemm_bt");
-    TELEMETRY_COUNT("tensor.gemm.calls", 1);
-    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
+    CheckMatMulShapes(a, b_t, c, m, k, n, n, k);
 
     const float* ap = a.data();
     const float* bp = b_t.data();
@@ -85,7 +253,7 @@ GemmBT(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads)
 }
 
 void
-GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads)
+GemmATNaive(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads)
 {
     const int64_t k = a_t.size(0), m = a_t.size(1), n = b.size(1);
     if (b.size(0) != k) {
@@ -94,9 +262,6 @@ GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads)
     if (c.size(0) != m || c.size(1) != n) {
         throw std::invalid_argument("GemmAT: output shape mismatch");
     }
-    TELEMETRY_SPAN("tensor.gemm_at");
-    TELEMETRY_COUNT("tensor.gemm.calls", 1);
-    TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
 
     const float* ap = a_t.data();
     const float* bp = b.data();
@@ -113,30 +278,6 @@ GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads)
             }
         }
     });
-}
-
-Tensor
-MatMul(const Tensor& a, const Tensor& b, int nthreads)
-{
-    Tensor c({a.size(0), b.size(1)});
-    Gemm(a, b, c, nthreads);
-    return c;
-}
-
-void
-AffineForward(const Tensor& x, const Tensor& w, const Tensor& bias,
-              Tensor& y, int nthreads)
-{
-    Gemm(x, w, y, nthreads);
-    if (bias.empty()) return;
-    const int64_t m = y.size(0), n = y.size(1);
-    assert(bias.numel() == n);
-    const float* bp = bias.data();
-    float* yp = y.data();
-    for (int64_t i = 0; i < m; ++i) {
-        float* yrow = yp + i * n;
-        for (int64_t j = 0; j < n; ++j) yrow[j] += bp[j];
-    }
 }
 
 }  // namespace secemb

@@ -2,16 +2,25 @@
 
 /**
  * @file
- * Blocked single-precision GEMM and matrix-vector helpers.
+ * Single-precision GEMM and matrix-vector helpers.
  *
  * This is the compute substrate under DHE's FC decoder, the DLRM MLPs, and
  * the transformer. Everything is branch-free with respect to data values:
  * the control flow depends only on shapes, which are public in the threat
  * model (Section III of the paper).
+ *
+ * All entry points dispatch to the packed SIMD kernel subsystem
+ * (tensor/kernels): cache-blocked microkernels selected per the active
+ * ISA tier (SECEMB_ISA), with B packed into 64-byte-aligned panels. The
+ * *Naive reference loops are kept as the correctness/perf baseline for
+ * tests and benchmarks. Weight-operand variants (AffineActForward,
+ * GemmWeightBT) pack through the persistent weight cache so FC weights
+ * are packed once and reused across batches.
  */
 
 #include <cstdint>
 
+#include "tensor/kernels/kernels.h"
 #include "tensor/tensor.h"
 
 namespace secemb {
@@ -19,8 +28,8 @@ namespace secemb {
 /**
  * C = A * B for row-major A (m x k), B (k x n), C (m x n).
  *
- * Uses an i-k-j loop order with register accumulation; optionally
- * parallelised over rows of A with nthreads.
+ * Packed-kernel path (transient B pack); optionally parallelised over
+ * row tiles of C with nthreads.
  */
 void Gemm(const Tensor& a, const Tensor& b, Tensor& c, int nthreads = 1);
 
@@ -30,14 +39,49 @@ void GemmBT(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads = 1);
 /** C = A^T * B for A (k x m), B (k x n), C (m x n). */
 void GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads = 1);
 
+/**
+ * C = A * W^T with W packed via the persistent weight cache — the FC
+ * backward data path (dx = g W^T), where W is a layer weight reused
+ * across every step at unchanged content.
+ */
+void GemmWeightBT(const Tensor& a, const Tensor& w, Tensor& c,
+                  int nthreads = 1);
+
 /** Returning convenience wrapper around Gemm. */
 Tensor MatMul(const Tensor& a, const Tensor& b, int nthreads = 1);
 
 /**
- * y += x * W + bias broadcast, for x (m x k), w (k x n), bias (n).
- * The canonical FC-layer forward; bias may be empty to skip.
+ * y = x * W + bias broadcast, for x (m x k), w (k x n), bias (n).
+ * The canonical FC-layer forward; bias may be empty to skip. W is packed
+ * through the persistent weight cache; bias is fused into the GEMM
+ * epilogue (no separate pass).
  */
 void AffineForward(const Tensor& x, const Tensor& w, const Tensor& bias,
                    Tensor& y, int nthreads = 1);
+
+/**
+ * y = act(x * W + bias): AffineForward with the activation fused into
+ * the same epilogue pass. When `preact` is non-null it receives
+ * x * W + bias (same shape as y) for Backward, still in one pass.
+ */
+void AffineActForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      Tensor& y, int nthreads, kernels::Activation act,
+                      Tensor* preact = nullptr);
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels (tests and benchmarks)
+// ---------------------------------------------------------------------------
+
+/** The pre-kernel scalar triple loop: i-k-j order, row-parallel. */
+void GemmNaive(const Tensor& a, const Tensor& b, Tensor& c,
+               int nthreads = 1);
+
+/** Naive C = A * B^T. */
+void GemmBTNaive(const Tensor& a, const Tensor& b_t, Tensor& c,
+                 int nthreads = 1);
+
+/** Naive C = A^T * B. */
+void GemmATNaive(const Tensor& a_t, const Tensor& b, Tensor& c,
+                 int nthreads = 1);
 
 }  // namespace secemb

@@ -1,0 +1,228 @@
+#pragma once
+
+/**
+ * @file
+ * The ISA-independent half of the packed GEMM: cache-blocked MC/KC/NC
+ * traversal, A/B panel packing, tile merge with the fused epilogue, and
+ * ParallelFor chunking over row tiles. Each microkernel TU instantiates
+ * BlockedDriver<Micro> under its own -m flags, so the merge/pack loops
+ * auto-vectorize to the same ISA as the microkernel they serve.
+ *
+ * A Micro provides:
+ *   static constexpr int kMr, kNr;          // register tile shape
+ *   static void Tile(const float* pa,       // kMr-grouped A slab
+ *                    const float* pb,       // kNr-grouped B slab
+ *                    int64_t kc,            // depth of this k block
+ *                    float* acc);           // kMr*kNr out, 64B aligned
+ *
+ * Tile computes acc = pa * pb over kc steps (overwriting acc); the
+ * driver owns everything else, including C accumulation across k blocks
+ * and the bias/activation/preact epilogue on the final block. Keeping
+ * stores out of the microkernel costs one L1-resident round trip per
+ * tile (kMr*kNr floats against 2*kMr*kNr*KC flops, ~0.1%) and buys
+ * uniform handling of edge tiles and epilogues.
+ */
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "tensor/aligned.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/parallel.h"
+
+namespace secemb::kernels::detail {
+
+/** Cache-blocking constants (floats): KC * NR panels stay L1-resident,
+ * MC rows of C bound the working set re-walked per k block. MC is a
+ * multiple of every tier's kMr (lcm(4, 6, 8) = 24). */
+inline constexpr int64_t kBlockKc = 384;
+inline constexpr int64_t kBlockMc = 240;
+inline constexpr int64_t kBlockNc = 4096;
+
+/** Pack A into kMr-row panels: panel t stores, for each depth p, the
+ * kMr row values contiguously (zero-padded past m). `trans` reads A as
+ * a k x m buffer (the GemmAT case: C = A^T * B). */
+template <int MR>
+void
+PackAPanels(const float* a, int64_t m, int64_t k, bool trans, float* out)
+{
+    const int64_t tiles = (m + MR - 1) / MR;
+    for (int64_t t = 0; t < tiles; ++t) {
+        float* panel = out + t * MR * k;
+        for (int r = 0; r < MR; ++r) {
+            const int64_t row = t * MR + r;
+            if (row >= m) {
+                for (int64_t p = 0; p < k; ++p) panel[p * MR + r] = 0.0f;
+            } else if (trans) {
+                for (int64_t p = 0; p < k; ++p) {
+                    panel[p * MR + r] = a[p * m + row];
+                }
+            } else {
+                const float* arow = a + row * k;
+                for (int64_t p = 0; p < k; ++p) {
+                    panel[p * MR + r] = arow[p];
+                }
+            }
+        }
+    }
+}
+
+/** Pack B into kNr-wide column panels (see PackedB); `trans` reads B as
+ * an n x k buffer (the GemmBT case). */
+template <int NR>
+void
+PackBPanels(const float* b, int64_t k, int64_t n, bool trans, float* out)
+{
+    const int64_t panels = (n + NR - 1) / NR;
+    for (int64_t jp = 0; jp < panels; ++jp) {
+        float* panel = out + jp * k * NR;
+        for (int j = 0; j < NR; ++j) {
+            const int64_t col = jp * NR + j;
+            if (col >= n) {
+                for (int64_t p = 0; p < k; ++p) panel[p * NR + j] = 0.0f;
+            } else if (trans) {
+                const float* bcol = b + col * k;
+                for (int64_t p = 0; p < k; ++p) {
+                    panel[p * NR + j] = bcol[p];
+                }
+            } else {
+                for (int64_t p = 0; p < k; ++p) {
+                    panel[p * NR + j] = b[p * n + col];
+                }
+            }
+        }
+    }
+}
+
+template <class Micro>
+struct BlockedDriver
+{
+    static constexpr int MR = Micro::kMr;
+    static constexpr int NR = Micro::kNr;
+
+    /**
+     * Merge one computed tile into C. `first` overwrites (first k
+     * block), otherwise accumulates; `last` applies the epilogue. The
+     * loops carry no data-dependent branches: activation selection is
+     * a shape-class (public) property of the call.
+     */
+    static void
+    MergeTile(const float* acc, float* c, int64_t ldc, int64_t i0,
+              int64_t j0, int mr, int nr, bool first, bool last,
+              const Epilogue& ep)
+    {
+        for (int r = 0; r < mr; ++r) {
+            const float* t = acc + r * NR;
+            float* crow = c + (i0 + r) * ldc + j0;
+            if (!last) {
+                if (first) {
+                    for (int j = 0; j < nr; ++j) crow[j] = t[j];
+                } else {
+                    for (int j = 0; j < nr; ++j) crow[j] += t[j];
+                }
+                continue;
+            }
+            float* prow = ep.preact == nullptr
+                              ? nullptr
+                              : ep.preact + (i0 + r) * ldc + j0;
+            for (int j = 0; j < nr; ++j) {
+                float v = t[j];
+                if (!first) v += crow[j];
+                if (ep.bias != nullptr) v += ep.bias[j0 + j];
+                if (prow != nullptr) prow[j] = v;
+                switch (ep.act) {
+                    case Activation::kIdentity:
+                        break;
+                    case Activation::kRelu:
+                        v = std::max(v, 0.0f);
+                        break;
+                    case Activation::kGelu:
+                        v = GeluF(v);
+                        break;
+                }
+                crow[j] = v;
+            }
+        }
+    }
+
+    static void
+    Run(const GemmArgs& args)
+    {
+        const PackedB& b = *args.b;
+        assert(b.nr == NR);
+        assert(IsAligned64(b.data.data()));
+        const int64_t m = args.m, k = b.k, n = b.n;
+        if (m == 0 || n == 0) return;
+
+        const int64_t tiles_m = (m + MR - 1) / MR;
+        const int64_t panels = (n + NR - 1) / NR;
+        // k == 0 still runs one (empty) block so the epilogue fires:
+        // C = act(bias) matches the mathematical A*B for k = 0.
+        const int64_t k_blocks =
+            std::max<int64_t>(1, (k + kBlockKc - 1) / kBlockKc);
+
+        // A panels are transient per call; the buffer is thread_local so
+        // steady-state serving reuses one allocation. Packed on the
+        // caller before the region — workers only read it.
+        static thread_local AlignedFloatVector a_pack;
+        a_pack.resize(static_cast<size_t>(tiles_m * MR * k));
+        PackAPanels<MR>(args.a, m, k, args.a_transposed, a_pack.data());
+        const float* pa_base = a_pack.data();
+        const float* pb_base = b.data.data();
+        const int64_t panel_stride = b.panel_stride();
+
+        constexpr int64_t mc_tiles = kBlockMc / MR;
+        ParallelFor(tiles_m, args.nthreads, [&](int64_t tb, int64_t te) {
+            alignas(64) float acc[MR * NR];
+            for (int64_t jc = 0; jc < n; jc += kBlockNc) {
+                const int64_t jp_begin = jc / NR;
+                const int64_t jp_end = std::min<int64_t>(
+                    panels, (jc + kBlockNc + NR - 1) / NR);
+                for (int64_t ic = tb; ic < te; ic += mc_tiles) {
+                    const int64_t it_end = std::min(te, ic + mc_tiles);
+                    for (int64_t kb = 0; kb < k_blocks; ++kb) {
+                        const int64_t k0 = kb * kBlockKc;
+                        const int64_t kc =
+                            std::min<int64_t>(kBlockKc, k - k0);
+                        const bool first = kb == 0;
+                        const bool last = kb == k_blocks - 1;
+                        for (int64_t jp = jp_begin; jp < jp_end; ++jp) {
+                            const float* pb = pb_base +
+                                              jp * panel_stride +
+                                              k0 * NR;
+                            const int nr = static_cast<int>(
+                                std::min<int64_t>(NR, n - jp * NR));
+                            for (int64_t it = ic; it < it_end; ++it) {
+                                const float* pa =
+                                    pa_base + it * MR * k + k0 * MR;
+                                const int mr = static_cast<int>(
+                                    std::min<int64_t>(MR, m - it * MR));
+                                Micro::Tile(pa, pb, kc, acc);
+                                MergeTile(acc, args.c, n, it * MR,
+                                          jp * NR, mr, nr, first, last,
+                                          args.epilogue);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+};
+
+/** The function-pointer surface each microkernel TU exports. */
+struct TierOps
+{
+    int mr = 0;
+    int nr = 0;
+    void (*pack_b)(const float* b, int64_t k, int64_t n, bool trans,
+                   float* out) = nullptr;
+    void (*run)(const GemmArgs& args) = nullptr;
+};
+
+const TierOps& ScalarTierOps();
+const TierOps& Avx2TierOps();    // defined only when compiled in
+const TierOps& Avx512TierOps();  // defined only when compiled in
+
+}  // namespace secemb::kernels::detail

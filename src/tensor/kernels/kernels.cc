@@ -1,0 +1,343 @@
+#include "tensor/kernels/kernels.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "telemetry/telemetry.h"
+#include "tensor/kernels/driver.h"
+
+namespace secemb::kernels {
+
+namespace {
+
+std::atomic<int> g_test_isa{-1};
+
+bool
+CpuSupports(Isa isa)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    switch (isa) {
+        case Isa::kScalar:
+            return true;
+        case Isa::kAvx2:
+            return __builtin_cpu_supports("avx2") &&
+                   __builtin_cpu_supports("fma");
+        case Isa::kAvx512:
+            return __builtin_cpu_supports("avx512f");
+    }
+    return false;
+#else
+    return isa == Isa::kScalar;
+#endif
+}
+
+/** Widest supported tier not wider than `want`. */
+Isa
+ClampToSupported(Isa want)
+{
+    for (int t = static_cast<int>(want); t > 0; --t) {
+        if (IsaSupported(static_cast<Isa>(t))) return static_cast<Isa>(t);
+    }
+    return Isa::kScalar;
+}
+
+/** Parse SECEMB_ISA once; unknown values warn and select automatically. */
+Isa
+IsaFromEnvironment()
+{
+    const char* env = std::getenv("SECEMB_ISA");
+    if (env == nullptr || *env == '\0') return WidestSupportedIsa();
+    const std::string v(env);
+    Isa want;
+    if (v == "scalar") {
+        want = Isa::kScalar;
+    } else if (v == "avx2") {
+        want = Isa::kAvx2;
+    } else if (v == "avx512") {
+        want = Isa::kAvx512;
+    } else {
+        std::fprintf(stderr,
+                     "secemb: unknown SECEMB_ISA='%s' "
+                     "(want scalar|avx2|avx512); auto-selecting %s\n",
+                     v.c_str(), IsaName(WidestSupportedIsa()));
+        return WidestSupportedIsa();
+    }
+    const Isa got = ClampToSupported(want);
+    if (got != want) {
+        std::fprintf(stderr,
+                     "secemb: SECEMB_ISA=%s not supported on this "
+                     "machine/build; using %s\n",
+                     v.c_str(), IsaName(got));
+    }
+    return got;
+}
+
+const detail::TierOps&
+OpsFor(Isa isa)
+{
+    switch (isa) {
+#if defined(SECEMB_KERNELS_AVX2)
+        case Isa::kAvx2:
+            return detail::Avx2TierOps();
+#endif
+#if defined(SECEMB_KERNELS_AVX512)
+        case Isa::kAvx512:
+            return detail::Avx512TierOps();
+#endif
+        default:
+            return detail::ScalarTierOps();
+    }
+}
+
+}  // namespace
+
+const char*
+IsaName(Isa isa)
+{
+    switch (isa) {
+        case Isa::kScalar:
+            return "scalar";
+        case Isa::kAvx2:
+            return "avx2";
+        case Isa::kAvx512:
+            return "avx512";
+    }
+    return "?";
+}
+
+bool
+IsaCompiledIn(Isa isa)
+{
+    switch (isa) {
+        case Isa::kScalar:
+            return true;
+        case Isa::kAvx2:
+#if defined(SECEMB_KERNELS_AVX2)
+            return true;
+#else
+            return false;
+#endif
+        case Isa::kAvx512:
+#if defined(SECEMB_KERNELS_AVX512)
+            return true;
+#else
+            return false;
+#endif
+    }
+    return false;
+}
+
+bool
+IsaSupported(Isa isa)
+{
+    return IsaCompiledIn(isa) && CpuSupports(isa);
+}
+
+Isa
+WidestSupportedIsa()
+{
+    static const Isa widest = ClampToSupported(Isa::kAvx512);
+    return widest;
+}
+
+Isa
+ActiveIsa()
+{
+    const int forced = g_test_isa.load(std::memory_order_relaxed);
+    if (forced >= 0) return ClampToSupported(static_cast<Isa>(forced));
+    static const Isa selected = IsaFromEnvironment();
+    return selected;
+}
+
+void
+SetIsaForTest(int isa_or_negative)
+{
+    g_test_isa.store(isa_or_negative, std::memory_order_relaxed);
+}
+
+void
+PackB(const float* b, int64_t k, int64_t n, bool transposed_src, Isa isa,
+      PackedB* out)
+{
+    assert(b != nullptr || k * n == 0);
+    const detail::TierOps& ops = OpsFor(isa);
+    out->k = k;
+    out->n = n;
+    out->nr = ops.nr;
+    out->isa = isa;
+    out->transposed_src = transposed_src;
+    out->content_hash = 0;
+    out->data.resize(
+        static_cast<size_t>(out->panels() * out->panel_stride()));
+    ops.pack_b(b, k, n, transposed_src, out->data.data());
+    TELEMETRY_COUNT("kernels.pack_b.calls", 1);
+    TELEMETRY_COUNT("kernels.pack_b.floats", k * n);
+}
+
+uint64_t
+HashWeights(const float* data, int64_t count)
+{
+    // Multiply-xor over 8-byte words: fast change detection for the
+    // packed-weight cache, not adversarial hashing.
+    constexpr uint64_t kMul = 0x9E3779B97F4A7C15ull;
+    uint64_t h = 0x243F6A8885A308D3ull ^
+                 (static_cast<uint64_t>(count) * kMul);
+    const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+    size_t remaining = static_cast<size_t>(count) * sizeof(float);
+    while (remaining >= 8) {
+        uint64_t w;
+        std::memcpy(&w, bytes, 8);
+        h = (h ^ w) * kMul;
+        h ^= h >> 29;
+        bytes += 8;
+        remaining -= 8;
+    }
+    if (remaining > 0) {
+        uint64_t w = 0;
+        std::memcpy(&w, bytes, remaining);
+        h = (h ^ w) * kMul;
+        h ^= h >> 29;
+    }
+    return h * kMul;
+}
+
+void
+GemmPacked(const GemmArgs& args)
+{
+    assert(args.b != nullptr);
+    assert(args.c != nullptr || args.m * args.b->n == 0);
+    // Kernel-entry alignment contract: packed panels come from the
+    // 64-byte allocator, unconditionally.
+    assert(IsAligned64(args.b->data.data()));
+    TELEMETRY_COUNT("kernels.gemm.calls", 1);
+    OpsFor(args.b->isa).run(args);
+}
+
+// ---------------------------------------------------------------------------
+// PackedWeightCache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CacheKey
+{
+    uintptr_t ptr;
+    int64_t k;
+    int64_t n;
+    bool transposed;
+    int isa;
+
+    bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash
+{
+    size_t
+    operator()(const CacheKey& key) const
+    {
+        uint64_t h = key.ptr;
+        h = (h ^ static_cast<uint64_t>(key.k)) * 0x9E3779B97F4A7C15ull;
+        h = (h ^ static_cast<uint64_t>(key.n)) * 0x9E3779B97F4A7C15ull;
+        h ^= (key.transposed ? 0x10000u : 0u) ^
+             static_cast<uint64_t>(key.isa);
+        h ^= h >> 31;
+        return static_cast<size_t>(h);
+    }
+};
+
+}  // namespace
+
+struct PackedWeightCache::Impl
+{
+    mutable std::mutex mu;
+    std::unordered_map<CacheKey, std::shared_ptr<const PackedB>,
+                       CacheKeyHash>
+        entries;
+    Stats stats;
+};
+
+PackedWeightCache::Impl&
+PackedWeightCache::impl() const
+{
+    static Impl instance;
+    return instance;
+}
+
+PackedWeightCache&
+PackedWeightCache::Instance()
+{
+    static PackedWeightCache cache;
+    return cache;
+}
+
+std::shared_ptr<const PackedB>
+PackedWeightCache::Get(const float* w, int64_t k, int64_t n,
+                       bool transposed_src)
+{
+    const Isa isa = ActiveIsa();
+    // Hash outside the lock: it reads the whole weight buffer (an
+    // input-independent, whole-region access) and is the staleness
+    // check that makes in-place weight updates safe to cache under.
+    const uint64_t hash = HashWeights(w, k * n);
+    const CacheKey key{reinterpret_cast<uintptr_t>(w), k, n,
+                       transposed_src, static_cast<int>(isa)};
+
+    Impl& im = impl();
+    std::unique_lock<std::mutex> lock(im.mu);
+    auto it = im.entries.find(key);
+    if (it != im.entries.end() && it->second->content_hash == hash) {
+        ++im.stats.hits;
+        TELEMETRY_COUNT("kernels.cache.hits", 1);
+        return it->second;
+    }
+    const bool repack = it != im.entries.end();
+    lock.unlock();
+
+    auto packed = std::make_shared<PackedB>();
+    PackB(w, k, n, transposed_src, isa, packed.get());
+    packed->content_hash = hash;
+
+    lock.lock();
+    if (repack) {
+        ++im.stats.repacks;
+        TELEMETRY_COUNT("kernels.cache.repacks", 1);
+    } else {
+        ++im.stats.misses;
+        TELEMETRY_COUNT("kernels.cache.misses", 1);
+    }
+    im.entries[key] = packed;
+    return packed;
+}
+
+void
+PackedWeightCache::Clear()
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.entries.clear();
+    im.stats = Stats{};
+}
+
+PackedWeightCache::Stats
+PackedWeightCache::stats() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    return im.stats;
+}
+
+size_t
+PackedWeightCache::entries() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    return im.entries.size();
+}
+
+}  // namespace secemb::kernels

@@ -1,0 +1,218 @@
+#pragma once
+
+/**
+ * @file
+ * Runtime-dispatched packed GEMM microkernels with fused epilogues.
+ *
+ * This is the compute engine under every FC GEMM in the library (DHE
+ * decoder, DLRM MLPs, the transformer head/FFN). Three tiers are built as
+ * separate translation units with per-TU ISA flags and selected once at
+ * startup:
+ *
+ *   AVX-512F (8x32 tiles) -> AVX2+FMA (6x16 tiles) -> scalar (4x8 tiles)
+ *
+ * The active tier can be forced with SECEMB_ISA=scalar|avx2|avx512 (for
+ * A/B testing and the certification gate) and overridden per-process in
+ * tests via SetIsaForTest(). Requests for a tier the CPU or build cannot
+ * satisfy clamp down to the widest supported tier.
+ *
+ * B operands are packed into 64-byte-aligned NR-wide column panels
+ * (cache-blocked MC/KC/NC traversal); weight matrices are packed once
+ * into a persistent process-wide cache keyed by buffer identity and
+ * validated by content hash, so serving workloads pack each FC weight a
+ * single time and reuse the panels across every batch.
+ *
+ * Obliviousness: control flow in every kernel depends only on shapes
+ * (public in the threat model); the packed traversal touches the whole
+ * weight panel for every batch, exactly like the reference loops. The
+ * PR-3 certification harness proves canonical traces are bit-identical
+ * across tiers (see tests/kernel_test.cc, label `kernels`/`leakage`).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "tensor/aligned.h"
+
+namespace secemb::kernels {
+
+/** Dispatch tiers, widest last. */
+enum class Isa
+{
+    kScalar = 0,
+    kAvx2 = 1,
+    kAvx512 = 2,
+};
+
+/** Lowercase tier name: "scalar", "avx2", "avx512". */
+const char* IsaName(Isa isa);
+
+/** True if the tier's microkernel TU was compiled into this binary. */
+bool IsaCompiledIn(Isa isa);
+
+/** True if the tier is compiled in AND the CPU reports support. */
+bool IsaSupported(Isa isa);
+
+/** Widest tier usable on this machine/build (always >= kScalar). */
+Isa WidestSupportedIsa();
+
+/**
+ * The tier all dispatched GEMMs use: SetIsaForTest() override if set,
+ * else SECEMB_ISA (clamped to supported, parsed once), else the widest
+ * supported tier.
+ */
+Isa ActiveIsa();
+
+/**
+ * Test hook: force a tier (pass static_cast<int>(Isa)) or restore
+ * normal selection (pass -1). Forcing an unsupported tier clamps, like
+ * the environment variable. Not for production use.
+ */
+void SetIsaForTest(int isa_or_negative);
+
+// ---------------------------------------------------------------------------
+// Fused epilogue
+// ---------------------------------------------------------------------------
+
+/** Activation applied in the GEMM epilogue (and by nn fused layers). */
+enum class Activation
+{
+    kIdentity = 0,
+    kRelu = 1,
+    kGelu = 2,
+};
+
+/** GELU (tanh approximation, as in GPT-2) — single source of truth for
+ * both the fused epilogue and nn::Gelu so results match exactly. */
+inline float
+GeluF(float x)
+{
+    constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+    const float inner = kC * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+/** d/dx of GeluF. */
+inline float
+GeluGradF(float x)
+{
+    constexpr float kC = 0.7978845608028654f;
+    const float x3 = x * x * x;
+    const float inner = kC * (x + 0.044715f * x3);
+    const float t = std::tanh(inner);
+    const float dinner = kC * (1.0f + 3.0f * 0.044715f * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+}
+
+/**
+ * Work fused into the GEMM's final store: bias broadcast, activation,
+ * and an optional pre-activation side output (what fused training
+ * layers cache for Backward). All pointers are borrowed.
+ */
+struct Epilogue
+{
+    const float* bias = nullptr;  ///< length n; nullptr = no bias
+    Activation act = Activation::kIdentity;
+    float* preact = nullptr;  ///< m x n row-major; receives C + bias
+};
+
+// ---------------------------------------------------------------------------
+// Packed operands
+// ---------------------------------------------------------------------------
+
+/**
+ * B (k x n) packed into NR-wide column panels for one tier: panel j
+ * holds rows 0..k of columns [j*nr, j*nr+nr) as k contiguous nr-float
+ * groups, zero-padded to nr. The buffer is 64-byte aligned and panel
+ * strides preserve that alignment.
+ */
+struct PackedB
+{
+    int64_t k = 0;
+    int64_t n = 0;
+    int nr = 0;
+    Isa isa = Isa::kScalar;
+    bool transposed_src = false;  ///< packed from an n x k (B^T) source
+    uint64_t content_hash = 0;    ///< hash of the source weights
+    AlignedFloatVector data;
+
+    int64_t panels() const { return nr == 0 ? 0 : (n + nr - 1) / nr; }
+    int64_t panel_stride() const { return k * int64_t{nr}; }
+};
+
+/**
+ * Pack `b` for `isa`. When transposed_src, `b` is an n x k row-major
+ * buffer read as B^T (the GemmBT case: C = A * B^T).
+ */
+void PackB(const float* b, int64_t k, int64_t n, bool transposed_src,
+           Isa isa, PackedB* out);
+
+/** Cheap 64-bit content hash used for packed-weight staleness checks. */
+uint64_t HashWeights(const float* data, int64_t count);
+
+// ---------------------------------------------------------------------------
+// Dispatched GEMM
+// ---------------------------------------------------------------------------
+
+/** One C = A * B (+ epilogue) invocation against a prepacked B. */
+struct GemmArgs
+{
+    const float* a = nullptr;  ///< m x k row-major (k x m if a_transposed)
+    bool a_transposed = false;
+    const PackedB* b = nullptr;
+    float* c = nullptr;  ///< m x n row-major, fully overwritten
+    int64_t m = 0;
+    Epilogue epilogue;
+    int nthreads = 1;
+};
+
+/**
+ * Run the blocked, packed GEMM for args.b->isa. Parallelised over MR-row
+ * tiles of C via ParallelFor (deterministic chunk boundaries). The
+ * epilogue is applied in the same pass as the final k-block's stores.
+ */
+void GemmPacked(const GemmArgs& args);
+
+// ---------------------------------------------------------------------------
+// Persistent packed-weight cache
+// ---------------------------------------------------------------------------
+
+/**
+ * Process-wide cache of packed weight panels, keyed by (buffer address,
+ * shape, transposition, tier). Every Get() rehashes the source buffer
+ * and repacks on mismatch, so in-place optimiser updates (and buffer
+ * reuse after frees) can never serve stale panels; the hash pass is
+ * O(k*n) reads versus the GEMM's O(2*m*k*n) flops. Entries are returned
+ * as shared_ptr so a Clear() or repack cannot invalidate panels a
+ * running GEMM still holds. Thread-safe.
+ */
+class PackedWeightCache
+{
+  public:
+    static PackedWeightCache& Instance();
+
+    /** Packed panels for weights `w` (k x n; n x k if transposed_src),
+     * packed for ActiveIsa(). Packs on first use or content change. */
+    std::shared_ptr<const PackedB> Get(const float* w, int64_t k,
+                                       int64_t n, bool transposed_src);
+
+    /** Drop all entries (tests; also releases panel memory). */
+    void Clear();
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;    ///< first-time packs
+        uint64_t repacks = 0;   ///< content-hash mismatches
+    };
+    Stats stats() const;
+    size_t entries() const;
+
+  private:
+    PackedWeightCache() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+}  // namespace secemb::kernels

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * AVX2+FMA microkernel: 6x16 register tile (12 ymm accumulators + 2 B
+ * vectors + 1 broadcast = 15 of 16 registers). Compiled with
+ * -mavx2 -mfma on this TU only; the dispatcher never selects it unless
+ * the CPU reports both features.
+ */
+
+#include <immintrin.h>
+
+#include "tensor/kernels/driver.h"
+
+namespace secemb::kernels::detail {
+
+namespace {
+
+struct MicroAvx2
+{
+    static constexpr int kMr = 6;
+    static constexpr int kNr = 16;
+
+    static void
+    Tile(const float* pa, const float* pb, int64_t kc, float* acc)
+    {
+        __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+        __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+        __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+        __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+        __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+        __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+        for (int64_t p = 0; p < kc; ++p) {
+            // Panel rows are 64B groups off a 64B base: aligned loads.
+            const __m256 b0 = _mm256_load_ps(pb + p * kNr);
+            const __m256 b1 = _mm256_load_ps(pb + p * kNr + 8);
+            const float* av = pa + p * kMr;
+            __m256 a;
+            a = _mm256_broadcast_ss(av + 0);
+            c00 = _mm256_fmadd_ps(a, b0, c00);
+            c01 = _mm256_fmadd_ps(a, b1, c01);
+            a = _mm256_broadcast_ss(av + 1);
+            c10 = _mm256_fmadd_ps(a, b0, c10);
+            c11 = _mm256_fmadd_ps(a, b1, c11);
+            a = _mm256_broadcast_ss(av + 2);
+            c20 = _mm256_fmadd_ps(a, b0, c20);
+            c21 = _mm256_fmadd_ps(a, b1, c21);
+            a = _mm256_broadcast_ss(av + 3);
+            c30 = _mm256_fmadd_ps(a, b0, c30);
+            c31 = _mm256_fmadd_ps(a, b1, c31);
+            a = _mm256_broadcast_ss(av + 4);
+            c40 = _mm256_fmadd_ps(a, b0, c40);
+            c41 = _mm256_fmadd_ps(a, b1, c41);
+            a = _mm256_broadcast_ss(av + 5);
+            c50 = _mm256_fmadd_ps(a, b0, c50);
+            c51 = _mm256_fmadd_ps(a, b1, c51);
+        }
+        _mm256_store_ps(acc + 0 * kNr, c00);
+        _mm256_store_ps(acc + 0 * kNr + 8, c01);
+        _mm256_store_ps(acc + 1 * kNr, c10);
+        _mm256_store_ps(acc + 1 * kNr + 8, c11);
+        _mm256_store_ps(acc + 2 * kNr, c20);
+        _mm256_store_ps(acc + 2 * kNr + 8, c21);
+        _mm256_store_ps(acc + 3 * kNr, c30);
+        _mm256_store_ps(acc + 3 * kNr + 8, c31);
+        _mm256_store_ps(acc + 4 * kNr, c40);
+        _mm256_store_ps(acc + 4 * kNr + 8, c41);
+        _mm256_store_ps(acc + 5 * kNr, c50);
+        _mm256_store_ps(acc + 5 * kNr + 8, c51);
+    }
+};
+
+}  // namespace
+
+const TierOps&
+Avx2TierOps()
+{
+    static const TierOps ops = {
+        MicroAvx2::kMr,
+        MicroAvx2::kNr,
+        &PackBPanels<MicroAvx2::kNr>,
+        &BlockedDriver<MicroAvx2>::Run,
+    };
+    return ops;
+}
+
+}  // namespace secemb::kernels::detail

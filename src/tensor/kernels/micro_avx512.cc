@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AVX-512F microkernel: 8x32 register tile (16 zmm accumulators + 2 B
+ * vectors + 1 broadcast of 32 registers). Compiled with -mavx512f on
+ * this TU only; selected at runtime only when the CPU reports avx512f.
+ */
+
+#include <immintrin.h>
+
+#include "tensor/kernels/driver.h"
+
+namespace secemb::kernels::detail {
+
+namespace {
+
+struct MicroAvx512
+{
+    static constexpr int kMr = 8;
+    static constexpr int kNr = 32;
+
+    static void
+    Tile(const float* pa, const float* pb, int64_t kc, float* acc)
+    {
+        __m512 c[kMr][2];
+        for (int r = 0; r < kMr; ++r) {
+            c[r][0] = _mm512_setzero_ps();
+            c[r][1] = _mm512_setzero_ps();
+        }
+        for (int64_t p = 0; p < kc; ++p) {
+            // Panel rows are 128B groups off a 64B base: aligned loads.
+            const __m512 b0 = _mm512_load_ps(pb + p * kNr);
+            const __m512 b1 = _mm512_load_ps(pb + p * kNr + 16);
+            const float* av = pa + p * kMr;
+            for (int r = 0; r < kMr; ++r) {
+                const __m512 a = _mm512_set1_ps(av[r]);
+                c[r][0] = _mm512_fmadd_ps(a, b0, c[r][0]);
+                c[r][1] = _mm512_fmadd_ps(a, b1, c[r][1]);
+            }
+        }
+        for (int r = 0; r < kMr; ++r) {
+            _mm512_store_ps(acc + r * kNr, c[r][0]);
+            _mm512_store_ps(acc + r * kNr + 16, c[r][1]);
+        }
+    }
+};
+
+}  // namespace
+
+const TierOps&
+Avx512TierOps()
+{
+    static const TierOps ops = {
+        MicroAvx512::kMr,
+        MicroAvx512::kNr,
+        &PackBPanels<MicroAvx512::kNr>,
+        &BlockedDriver<MicroAvx512>::Run,
+    };
+    return ops;
+}
+
+}  // namespace secemb::kernels::detail

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Scalar fallback microkernel: 4x8 register tile, plain loops, no ISA
+ * flags — the tier every build and machine can run (SECEMB_ISA=scalar).
+ * The fixed-trip-count inner loops still let the baseline compiler
+ * vectorize to whatever the default target offers (SSE2 on x86-64).
+ */
+
+#include "tensor/kernels/driver.h"
+
+namespace secemb::kernels::detail {
+
+namespace {
+
+struct MicroScalar
+{
+    static constexpr int kMr = 4;
+    static constexpr int kNr = 8;
+
+    static void
+    Tile(const float* pa, const float* pb, int64_t kc, float* acc)
+    {
+        float sum[kMr][kNr] = {};
+        for (int64_t p = 0; p < kc; ++p) {
+            const float* av = pa + p * kMr;
+            const float* bv = pb + p * kNr;
+            for (int r = 0; r < kMr; ++r) {
+                const float a = av[r];
+                for (int j = 0; j < kNr; ++j) sum[r][j] += a * bv[j];
+            }
+        }
+        for (int r = 0; r < kMr; ++r) {
+            for (int j = 0; j < kNr; ++j) acc[r * kNr + j] = sum[r][j];
+        }
+    }
+};
+
+}  // namespace
+
+const TierOps&
+ScalarTierOps()
+{
+    static const TierOps ops = {
+        MicroScalar::kMr,
+        MicroScalar::kNr,
+        &PackBPanels<MicroScalar::kNr>,
+        &BlockedDriver<MicroScalar>::Run,
+    };
+    return ops;
+}
+
+}  // namespace secemb::kernels::detail

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned.h"
 #include "tensor/rng.h"
 
 namespace secemb {
@@ -26,7 +27,9 @@ using Shape = std::vector<int64_t>;
  * Dense row-major float tensor with value semantics.
  *
  * Copying copies the buffer; moves are cheap. All indexing is checked in
- * debug builds via assert and unchecked in release builds.
+ * debug builds via assert and unchecked in release builds. Payloads are
+ * allocated 64-byte aligned (see tensor/aligned.h): the SIMD GEMM and
+ * scan kernels rely on data() being cache-line/vector aligned.
  */
 class Tensor
 {
@@ -127,7 +130,7 @@ class Tensor
 
   private:
     Shape shape_;
-    std::vector<float> data_;
+    AlignedFloatVector data_;
 
     int64_t Offset2(int64_t i, int64_t j) const;
     int64_t Offset3(int64_t i, int64_t j, int64_t k) const;

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Packed-kernel subsystem tests (ctest label `kernels`).
+ *
+ * Seeded property tests compare every compiled ISA tier against the
+ * naive reference loops across odd/tail shapes, the fused epilogue
+ * against separate bias/activation passes, and the persistent
+ * packed-weight cache against in-place weight mutation. The trace
+ * section proves the obliviousness claim: canonical traces of the
+ * certified generators are bit-identical regardless of which GEMM tier
+ * runs underneath (label `leakage`).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/aligned.h"
+#include "tensor/gemm.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "verify/harness.h"
+
+namespace secemb {
+namespace {
+
+using kernels::Activation;
+using kernels::Isa;
+
+/** Forces a tier for the scope of a test; restores normal selection. */
+class ScopedIsa
+{
+  public:
+    explicit ScopedIsa(Isa isa)
+    {
+        kernels::SetIsaForTest(static_cast<int>(isa));
+    }
+    ~ScopedIsa() { kernels::SetIsaForTest(-1); }
+};
+
+std::vector<Isa>
+SupportedTiers()
+{
+    std::vector<Isa> tiers;
+    for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+        if (kernels::IsaSupported(isa)) tiers.push_back(isa);
+    }
+    return tiers;
+}
+
+/** max |got - want| / max(1, |want|) over all elements. */
+float
+MaxRelError(const Tensor& got, const Tensor& want)
+{
+    EXPECT_EQ(got.shape(), want.shape());
+    float worst = 0.0f;
+    for (int64_t i = 0; i < got.numel(); ++i) {
+        const float denom = std::max(1.0f, std::fabs(want.at(i)));
+        worst = std::max(worst, std::fabs(got.at(i) - want.at(i)) / denom);
+    }
+    return worst;
+}
+
+constexpr float kRelTol = 1e-4f;
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatchTest, ScalarTierAlwaysAvailable)
+{
+    EXPECT_TRUE(kernels::IsaCompiledIn(Isa::kScalar));
+    EXPECT_TRUE(kernels::IsaSupported(Isa::kScalar));
+    EXPECT_STREQ(kernels::IsaName(Isa::kScalar), "scalar");
+    EXPECT_STREQ(kernels::IsaName(Isa::kAvx2), "avx2");
+    EXPECT_STREQ(kernels::IsaName(Isa::kAvx512), "avx512");
+}
+
+TEST(KernelDispatchTest, ForcedTierIsActiveAndClampRestores)
+{
+    // Baseline is whatever normal selection picks (the SECEMB_ISA
+    // environment override, else the widest supported tier) — the test
+    // must pass under any SECEMB_ISA setting.
+    const Isa baseline = kernels::ActiveIsa();
+    {
+        ScopedIsa scoped(Isa::kScalar);
+        EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
+    }
+    EXPECT_EQ(kernels::ActiveIsa(), baseline);
+}
+
+TEST(KernelDispatchTest, UnsupportedForceClampsToWidest)
+{
+    // Forcing a tier the build/CPU cannot satisfy must clamp, not crash.
+    kernels::SetIsaForTest(static_cast<int>(Isa::kAvx512));
+    const Isa active = kernels::ActiveIsa();
+    EXPECT_TRUE(kernels::IsaSupported(active));
+    kernels::SetIsaForTest(-1);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: Tensor payload alignment
+// ---------------------------------------------------------------------------
+
+TEST(KernelAlignmentTest, TensorPayloadsAre64ByteAligned)
+{
+    Rng rng(11);
+    // Odd sizes included on purpose: alignment must come from the
+    // allocator, not from size rounding.
+    for (int64_t n : {1, 3, 7, 17, 63, 64, 65, 1000, 4096}) {
+        const Tensor t = Tensor::Randn({n}, rng);
+        EXPECT_TRUE(IsAligned64(t.data())) << "numel=" << n;
+        Tensor copy = t;
+        EXPECT_TRUE(IsAligned64(copy.data())) << "copy numel=" << n;
+    }
+}
+
+TEST(KernelAlignmentTest, PackedPanelsAre64ByteAligned)
+{
+    Rng rng(12);
+    const Tensor b = Tensor::Randn({37, 19}, rng);
+    for (Isa isa : SupportedTiers()) {
+        kernels::PackedB packed;
+        kernels::PackB(b.data(), 37, 19, /*transposed_src=*/false, isa,
+                       &packed);
+        EXPECT_TRUE(IsAligned64(packed.data.data()))
+            << kernels::IsaName(isa);
+        // Panel rows are NR floats; NR*4 divides 64 for every tier, so
+        // per-panel bases stay aligned too.
+        EXPECT_EQ((packed.nr * 4) % 64 == 0 || (64 % (packed.nr * 4)) == 0,
+                  true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: shape validation regression (the `(void)b;` bug)
+// ---------------------------------------------------------------------------
+
+TEST(KernelShapeCheckTest, GemmRejectsMismatchedB)
+{
+    Tensor a({4, 8}), c({4, 5});
+    Tensor b_bad_cols({8, 6});   // n disagrees with C
+    Tensor b_bad_rows({7, 5});   // inner dim disagrees with A
+    EXPECT_THROW(Gemm(a, b_bad_cols, c), std::invalid_argument);
+    EXPECT_THROW(Gemm(a, b_bad_rows, c), std::invalid_argument);
+    EXPECT_THROW(GemmNaive(a, b_bad_cols, c), std::invalid_argument);
+}
+
+TEST(KernelShapeCheckTest, GemmBTRejectsMismatchedB)
+{
+    Tensor a({4, 8}), c({4, 5});
+    Tensor bt_bad_inner({5, 9});  // B^T inner dim disagrees with A
+    Tensor bt_bad_rows({6, 8});   // n disagrees with C
+    EXPECT_THROW(GemmBT(a, bt_bad_inner, c), std::invalid_argument);
+    EXPECT_THROW(GemmBT(a, bt_bad_rows, c), std::invalid_argument);
+    EXPECT_THROW(GemmBTNaive(a, bt_bad_inner, c), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: every tier vs the naive reference
+// ---------------------------------------------------------------------------
+
+struct GemmCase
+{
+    int64_t m, k, n;
+    int nthreads;
+};
+
+/**
+ * Seeded shape corpus: all dims from {1..17, 63, 64, 65} plus a few
+ * large-dim probes, >= 340 triples. Run per compiled tier this exceeds
+ * 1000 property cases on any x86-64 build.
+ */
+std::vector<GemmCase>
+ShapeCorpus(uint64_t seed)
+{
+    static const int64_t kDims[] = {1,  2,  3,  4,  5,  6,  7,  8,  9, 10,
+                                    11, 12, 13, 14, 15, 16, 17, 63, 64, 65};
+    std::vector<GemmCase> cases;
+    Rng rng(seed);
+    auto pick = [&rng]() {
+        return kDims[rng.NextBounded(sizeof(kDims) / sizeof(kDims[0]))];
+    };
+    for (int i = 0; i < 330; ++i) {
+        cases.push_back({pick(), pick(), pick(),
+                         i % 7 == 0 ? 3 : 1});
+    }
+    // One big dim at a time keeps each case cheap while still crossing
+    // every MC/KC/NC blocking boundary.
+    cases.push_back({1024, 5, 9, 1});
+    cases.push_back({5, 1024, 9, 1});
+    cases.push_back({5, 9, 1024, 1});
+    cases.push_back({256, 1024, 512, 2});  // DHE decoder layer shape
+    return cases;
+}
+
+TEST(KernelPropertyTest, GemmMatchesNaiveOnEveryTier)
+{
+    Rng rng(101);
+    const auto corpus = ShapeCorpus(202);
+    for (Isa isa : SupportedTiers()) {
+        ScopedIsa scoped(isa);
+        for (const auto& tc : corpus) {
+            const Tensor a = Tensor::Randn({tc.m, tc.k}, rng);
+            const Tensor b = Tensor::Randn({tc.k, tc.n}, rng);
+            Tensor want({tc.m, tc.n}), got({tc.m, tc.n});
+            GemmNaive(a, b, want);
+            Gemm(a, b, got, tc.nthreads);
+            ASSERT_LE(MaxRelError(got, want), kRelTol)
+                << kernels::IsaName(isa) << " m=" << tc.m << " k=" << tc.k
+                << " n=" << tc.n << " t=" << tc.nthreads;
+        }
+    }
+}
+
+TEST(KernelPropertyTest, GemmBTMatchesNaiveOnEveryTier)
+{
+    Rng rng(103);
+    const auto corpus = ShapeCorpus(204);
+    for (Isa isa : SupportedTiers()) {
+        ScopedIsa scoped(isa);
+        for (const auto& tc : corpus) {
+            const Tensor a = Tensor::Randn({tc.m, tc.k}, rng);
+            const Tensor bt = Tensor::Randn({tc.n, tc.k}, rng);
+            Tensor want({tc.m, tc.n}), got({tc.m, tc.n});
+            GemmBTNaive(a, bt, want);
+            GemmBT(a, bt, got, tc.nthreads);
+            ASSERT_LE(MaxRelError(got, want), kRelTol)
+                << kernels::IsaName(isa) << " m=" << tc.m << " k=" << tc.k
+                << " n=" << tc.n << " t=" << tc.nthreads;
+        }
+    }
+}
+
+TEST(KernelPropertyTest, GemmATMatchesNaiveOnEveryTier)
+{
+    Rng rng(105);
+    const auto corpus = ShapeCorpus(206);
+    for (Isa isa : SupportedTiers()) {
+        ScopedIsa scoped(isa);
+        for (const auto& tc : corpus) {
+            const Tensor at = Tensor::Randn({tc.k, tc.m}, rng);
+            const Tensor b = Tensor::Randn({tc.k, tc.n}, rng);
+            Tensor want({tc.m, tc.n}), got({tc.m, tc.n});
+            GemmATNaive(at, b, want);
+            GemmAT(at, b, got, tc.nthreads);
+            ASSERT_LE(MaxRelError(got, want), kRelTol)
+                << kernels::IsaName(isa) << " m=" << tc.m << " k=" << tc.k
+                << " n=" << tc.n << " t=" << tc.nthreads;
+        }
+    }
+}
+
+TEST(KernelPropertyTest, TiersAgreeWithEachOther)
+{
+    // Cross-tier consistency at one blocking-boundary shape: all
+    // compiled tiers must agree within tolerance on identical inputs.
+    Rng rng(107);
+    const Tensor a = Tensor::Randn({65, 385}, rng);
+    const Tensor b = Tensor::Randn({385, 129}, rng);
+    const auto tiers = SupportedTiers();
+    Tensor base({65, 129});
+    {
+        ScopedIsa scoped(tiers.front());
+        Gemm(a, b, base);
+    }
+    for (size_t i = 1; i < tiers.size(); ++i) {
+        ScopedIsa scoped(tiers[i]);
+        Tensor got({65, 129});
+        Gemm(a, b, got);
+        EXPECT_LE(MaxRelError(got, base), kRelTol)
+            << kernels::IsaName(tiers[i]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused epilogue
+// ---------------------------------------------------------------------------
+
+TEST(KernelEpilogueTest, FusedBiasActMatchesSeparatePasses)
+{
+    Rng rng(109);
+    for (Isa isa : SupportedTiers()) {
+        ScopedIsa scoped(isa);
+        for (const auto act : {Activation::kIdentity, Activation::kRelu,
+                               Activation::kGelu}) {
+            const int64_t m = 33, k = 65, n = 47;
+            const Tensor x = Tensor::Randn({m, k}, rng);
+            const Tensor w = Tensor::Randn({k, n}, rng);
+            const Tensor bias = Tensor::Randn({n}, rng);
+
+            Tensor want({m, n});
+            GemmNaive(x, w, want);
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t j = 0; j < n; ++j) {
+                    float v = want.at(i, j) + bias.at(j);
+                    if (act == Activation::kRelu) v = std::max(0.0f, v);
+                    if (act == Activation::kGelu) v = kernels::GeluF(v);
+                    want.at(i, j) = v;
+                }
+            }
+
+            Tensor got({m, n}), preact({m, n});
+            AffineActForward(x, w, bias, got, 1, act, &preact);
+            EXPECT_LE(MaxRelError(got, want), kRelTol)
+                << kernels::IsaName(isa) << " act="
+                << static_cast<int>(act);
+
+            // preact must hold x*W + bias regardless of activation.
+            Tensor want_pre({m, n});
+            GemmNaive(x, w, want_pre);
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t j = 0; j < n; ++j) {
+                    want_pre.at(i, j) += bias.at(j);
+                }
+            }
+            EXPECT_LE(MaxRelError(preact, want_pre), kRelTol)
+                << kernels::IsaName(isa);
+        }
+        kernels::PackedWeightCache::Instance().Clear();
+    }
+}
+
+TEST(KernelEpilogueTest, EmptyBiasSkipsBroadcast)
+{
+    Rng rng(111);
+    const Tensor x = Tensor::Randn({9, 31}, rng);
+    const Tensor w = Tensor::Randn({31, 13}, rng);
+    Tensor want({9, 13}), got({9, 13});
+    GemmNaive(x, w, want);
+    AffineForward(x, w, Tensor(), got);
+    EXPECT_LE(MaxRelError(got, want), kRelTol);
+    kernels::PackedWeightCache::Instance().Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Persistent packed-weight cache
+// ---------------------------------------------------------------------------
+
+TEST(PackedWeightCacheTest, SecondGetHitsWithoutRepacking)
+{
+    auto& cache = kernels::PackedWeightCache::Instance();
+    cache.Clear();
+    Rng rng(113);
+    const Tensor w = Tensor::Randn({24, 16}, rng);
+
+    const auto before = cache.stats();
+    const auto p1 = cache.Get(w.data(), 24, 16, false);
+    const auto p2 = cache.Get(w.data(), 24, 16, false);
+    const auto after = cache.stats();
+
+    EXPECT_EQ(p1.get(), p2.get());
+    EXPECT_EQ(after.misses - before.misses, 1u);
+    EXPECT_EQ(after.hits - before.hits, 1u);
+    EXPECT_EQ(after.repacks - before.repacks, 0u);
+    EXPECT_EQ(cache.entries(), 1u);
+    cache.Clear();
+    EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(PackedWeightCacheTest, InPlaceMutationTriggersRepack)
+{
+    auto& cache = kernels::PackedWeightCache::Instance();
+    cache.Clear();
+    Rng rng(115);
+    Tensor w = Tensor::Randn({24, 16}, rng);
+    const Tensor x = Tensor::Randn({8, 24}, rng);
+
+    Tensor y1({8, 16});
+    AffineForward(x, w, Tensor(), y1);
+
+    // Optimiser-style in-place update: same buffer, new content. The
+    // cache must notice via the content hash and serve fresh panels.
+    w.ScaleInPlace(2.0f);
+    const auto before = cache.stats();
+    Tensor y2({8, 16});
+    AffineForward(x, w, Tensor(), y2);
+    const auto after = cache.stats();
+    EXPECT_EQ(after.repacks - before.repacks, 1u);
+
+    Tensor want({8, 16});
+    GemmNaive(x, w, want);
+    EXPECT_LE(MaxRelError(y2, want), kRelTol);
+    // And the scaled output really is 2x the original.
+    EXPECT_LE(MaxRelError(y2, y1.Scale(2.0f)), kRelTol);
+    cache.Clear();
+}
+
+TEST(PackedWeightCacheTest, TransposedAndPlainPacksAreDistinct)
+{
+    auto& cache = kernels::PackedWeightCache::Instance();
+    cache.Clear();
+    Rng rng(117);
+    const Tensor w = Tensor::Randn({16, 16}, rng);
+    const auto plain = cache.Get(w.data(), 16, 16, false);
+    const auto trans = cache.Get(w.data(), 16, 16, true);
+    EXPECT_NE(plain.get(), trans.get());
+    EXPECT_EQ(cache.entries(), 2u);
+    cache.Clear();
+}
+
+TEST(PackedWeightCacheTest, EntriesSurviveClearWhileHeld)
+{
+    // shared_ptr contract: Clear() must not invalidate panels a running
+    // GEMM still holds.
+    auto& cache = kernels::PackedWeightCache::Instance();
+    cache.Clear();
+    Rng rng(119);
+    const Tensor w = Tensor::Randn({8, 8}, rng);
+    const auto held = cache.Get(w.data(), 8, 8, false);
+    cache.Clear();
+    EXPECT_EQ(held->k, 8);
+    EXPECT_EQ(held->n, 8);
+    EXPECT_TRUE(IsAligned64(held->data.data()));
+}
+
+// ---------------------------------------------------------------------------
+// Obliviousness: canonical traces are tier-invariant (label `leakage`)
+// ---------------------------------------------------------------------------
+
+verify::VerifyConfig
+TraceConfig(verify::Subject subject)
+{
+    verify::VerifyConfig config;
+    config.subject = subject;
+    config.rows = 64;
+    config.dim = 16;
+    config.batch = 4;
+    config.seed = 7;
+    return config;
+}
+
+TEST(KernelTraceTest, CanonicalTracesIdenticalAcrossTiers)
+{
+    using verify::Subject;
+    for (Subject subject :
+         {Subject::kLinearScan, Subject::kDhe, Subject::kHybrid}) {
+        const auto config = TraceConfig(subject);
+        verify::CanonicalTrace base;
+        {
+            ScopedIsa scoped(Isa::kScalar);
+            base = verify::GoldenRun(config);
+        }
+        ASSERT_FALSE(base.accesses.empty())
+            << verify::SubjectName(subject);
+        for (Isa isa : SupportedTiers()) {
+            ScopedIsa scoped(isa);
+            const auto got = verify::GoldenRun(config);
+            const auto div = verify::CompareCanonical(base, got);
+            EXPECT_FALSE(div.diverged)
+                << verify::SubjectName(subject) << " under "
+                << kernels::IsaName(isa) << ": " << div.detail;
+        }
+    }
+}
+
+TEST(KernelTraceTest, DifferentialPassesUnderEveryTier)
+{
+    for (Isa isa : SupportedTiers()) {
+        ScopedIsa scoped(isa);
+        const auto result =
+            verify::RunDifferential(TraceConfig(verify::Subject::kDhe));
+        EXPECT_TRUE(result.passed)
+            << kernels::IsaName(isa) << ": " << result.detail;
+    }
+}
+
+}  // namespace
+}  // namespace secemb
