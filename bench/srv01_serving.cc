@@ -12,6 +12,13 @@
  *
  *   $ ./srv01_serving [--rows N] [--dim D] [--requests N]
  *                     [--producers P] [--json out.json]
+ *                     [--flight-trace out.trace.json]
+ *
+ * Per load, the JSON report also carries the sampled queue-depth
+ * time-series percentiles (one observation per batch flush) and the
+ * shed/retry/degrade counters, so a trajectory diff shows *why* latency
+ * moved, not just that it did. --flight-trace dumps the overload run's
+ * flight-recorder window as a chrome://tracing document.
  */
 
 #include <algorithm>
@@ -27,6 +34,7 @@
 #include "bench_util/json.h"
 #include "core/table_generators.h"
 #include "serving/server.h"
+#include "telemetry/telemetry.h"
 #include "tensor/rng.h"
 
 using namespace secemb;
@@ -38,13 +46,17 @@ struct LoadResult
     double offered_qps = 0.0;
     serving::ServerStats stats;
     std::vector<double> ok_latency_ns;
+    telemetry::Histogram::Snapshot queue_depth;  ///< sampled time-series
 };
 
 LoadResult
 RunLoad(const std::shared_ptr<core::EmbeddingGenerator>& gen,
         double offered_qps, int total_requests, int producers,
-        int64_t rows)
+        int64_t rows, const std::string& flight_trace_path)
 {
+    // Each load gets its own metric epoch so the sampled queue-depth
+    // series reflects this load alone.
+    telemetry::Registry::Instance().ResetAll();
     serving::ServerConfig cfg;
     cfg.queue_capacity = 64;
     cfg.max_batch = 8;
@@ -91,6 +103,15 @@ RunLoad(const std::shared_ptr<core::EmbeddingGenerator>& gen,
     }
     server.Shutdown();
     result.stats = server.GetStats();
+    result.queue_depth = telemetry::Registry::Instance()
+                             .GetHistogram("serving.queue_depth.sample")
+                             .TakeSnapshot();
+    if (!flight_trace_path.empty() &&
+        server.flight_recorder() != nullptr &&
+        !server.flight_recorder()->WriteChromeTrace(flight_trace_path)) {
+        std::fprintf(stderr, "srv01: cannot write %s\n",
+                     flight_trace_path.c_str());
+    }
     return result;
 }
 
@@ -106,6 +127,7 @@ main(int argc, char** argv)
         static_cast<int>(args.GetInt("--requests", 400));
     const int producers = static_cast<int>(args.GetInt("--producers", 4));
     const std::string json_path = args.GetString("--json");
+    const std::string flight_trace = args.GetString("--flight-trace");
 
     Rng rng(17);
     auto gen = std::make_shared<core::LinearScanTable>(
@@ -131,8 +153,11 @@ main(int argc, char** argv)
     const std::vector<std::pair<std::string, double>> loads{
         {"light_0.3x", 0.3}, {"capacity_1.0x", 1.0}, {"overload_3.0x", 3.0}};
     for (const auto& [name, mult] : loads) {
-        const LoadResult r = RunLoad(gen, capacity_qps * mult,
-                                     total_requests, producers, rows);
+        // The overload run is the interesting flight-recorder window
+        // (it actually sheds), so that is the one --flight-trace dumps.
+        const LoadResult r =
+            RunLoad(gen, capacity_qps * mult, total_requests, producers,
+                    rows, mult >= 3.0 ? flight_trace : std::string());
         const bench::LatencyStats lat =
             bench::LatencyStats::FromSamples(r.ok_latency_ns);
         const double shed_rate =
@@ -154,6 +179,16 @@ main(int argc, char** argv)
         res.num_params.emplace_back("shed_rate", shed_rate);
         res.num_params.emplace_back("rows", static_cast<double>(rows));
         res.num_params.emplace_back("dim", static_cast<double>(dim));
+        // Sampled queue-depth time-series (one point per batch flush):
+        // p50/p99 say how deep the queue ran across the load, which is
+        // the early-warning signal for shed onset.
+        res.num_params.emplace_back("queue_depth_p50", r.queue_depth.p50);
+        res.num_params.emplace_back("queue_depth_p99", r.queue_depth.p99);
+        res.num_params.emplace_back("queue_depth_max",
+                                    static_cast<double>(r.queue_depth.max));
+        res.num_params.emplace_back(
+            "queue_depth_samples",
+            static_cast<double>(r.queue_depth.count));
         res.latency = bench::LatencyStats::FromSamples(r.ok_latency_ns);
         res.counters.emplace_back("serving.submitted", r.stats.submitted);
         res.counters.emplace_back("serving.completed", r.stats.completed);
@@ -164,6 +199,10 @@ main(int argc, char** argv)
         res.counters.emplace_back("serving.batches", r.stats.batches);
         res.counters.emplace_back("serving.degraded_batches",
                                   r.stats.degraded_batches);
+        res.counters.emplace_back("serving.flight_recorded",
+                                  r.stats.flight_recorded);
+        res.counters.emplace_back("serving.flight_dropped",
+                                  r.stats.flight_dropped);
     }
     table.Print();
 

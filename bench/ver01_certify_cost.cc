@@ -13,9 +13,11 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util/bench_util.h"
+#include "bench_util/json.h"
 #include "core/table_generators.h"
 #include "sidechannel/trace.h"
 #include "tensor/rng.h"
@@ -94,6 +96,7 @@ main(int argc, char** argv)
     const int64_t dim = args.GetInt("--dim", 16);
     const int batch = args.GetInt("--batch", 8);
     const int sets = static_cast<int>(args.GetInt("--sets", 4));
+    const std::string json_path = args.GetString("--json");
 
     std::printf("=== Certification cost: differential + statistical "
                 "checks per subject (%ldx%ld, batch %d, %d secret sets) "
@@ -102,6 +105,7 @@ main(int argc, char** argv)
 
     bench::TablePrinter table({"subject", "differential (ms)",
                                "statistical (ms)", "trace accesses"});
+    bench::BenchReport report("ver01_certify_cost");
     double total_ms = 0.0;
     for (const verify::Subject s : verify::AllSecureSubjects()) {
         verify::VerifyConfig config;
@@ -120,6 +124,23 @@ main(int argc, char** argv)
                           ? bench::TablePrinter::Num(cost.statistical_ms, 2)
                           : std::string("-"),
                       std::to_string(cost.trace_len)});
+
+        // One result per subject; "latency" is the full certification
+        // cost (differential + statistical) so the trajectory gate
+        // catches the certification harness itself getting slower.
+        auto& res = report.AddResult(verify::SubjectName(s));
+        res.num_params.emplace_back("rows", static_cast<double>(rows));
+        res.num_params.emplace_back("dim", static_cast<double>(dim));
+        res.num_params.emplace_back("batch", static_cast<double>(batch));
+        res.num_params.emplace_back("differential_ms",
+                                    cost.differential_ms);
+        res.num_params.emplace_back("statistical_ms", cost.statistical_ms);
+        res.str_params.emplace_back("statistical",
+                                    statistical ? "yes" : "no");
+        res.latency = bench::LatencyStats::FromMean(
+            (cost.differential_ms + cost.statistical_ms) * 1e6,
+            /*count=*/1);
+        res.counters.emplace_back("trace_accesses", cost.trace_len);
     }
     table.Print();
     std::printf("\nTotal certification cost at this shape: %.1f ms\n",
@@ -132,5 +153,11 @@ main(int argc, char** argv)
         "subject needs two groups of instrumented runs plus a seeded\n"
         "permutation calibration), yet the whole gate stays cheap enough\n"
         "to run in every CI invocation of `ctest -L leakage`.\n");
+
+    if (!json_path.empty() && !report.WriteTo(json_path)) {
+        std::fprintf(stderr, "ver01: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
     return 0;
 }

@@ -12,7 +12,8 @@
 # generators.
 #
 # Usage:
-#   scripts/certify.sh [--skip-asan] [--skip-chaos] [--seed N]
+#   scripts/certify.sh [--skip-asan] [--skip-chaos] [--skip-bench]
+#                      [--seed N]
 #
 # Exits non-zero if any generator fails certification.
 
@@ -24,11 +25,13 @@ ASAN_BUILD_DIR="${REPO_ROOT}/build-asan"
 SEED=2024
 SKIP_ASAN=0
 SKIP_CHAOS=0
+SKIP_BENCH=0
 
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --skip-asan) SKIP_ASAN=1; shift ;;
         --skip-chaos) SKIP_CHAOS=1; shift ;;
+        --skip-bench) SKIP_BENCH=1; shift ;;
         --seed) SEED="$2"; shift 2 ;;
         *) echo "unknown flag: $1" >&2; exit 2 ;;
     esac
@@ -65,14 +68,24 @@ else
 fi
 
 if [[ "${SKIP_CHAOS}" -eq 1 ]]; then
-    echo "== [5/5] Chaos gate skipped (--skip-chaos) =="
+    echo "== [5/6] Chaos gate skipped (--skip-chaos) =="
 else
-    echo "== [5/5] Chaos gate (scripts/chaos.sh) =="
+    echo "== [5/6] Chaos gate (scripts/chaos.sh) =="
     if [[ "${SKIP_ASAN}" -eq 1 ]]; then
         "${REPO_ROOT}/scripts/chaos.sh" --skip-sanitizers
     else
         "${REPO_ROOT}/scripts/chaos.sh"
     fi
+fi
+
+if [[ "${SKIP_BENCH}" -eq 1 ]]; then
+    echo "== [6/6] Bench trajectory skipped (--skip-bench) =="
+else
+    echo "== [6/6] Bench trajectory (scripts/bench_all.sh --quick) =="
+    # Quick workloads: the gate cares about regressions, not about
+    # paper-grade numbers. Gates automatically iff a baseline summary is
+    # checked in at baselines/BENCH_baseline.json.
+    "${REPO_ROOT}/scripts/bench_all.sh" --quick --skip-build
 fi
 
 echo "CERTIFICATION GATE PASSED"

@@ -28,8 +28,12 @@ JsonEscape(std::string_view s)
           case '\t': out += "\\t"; break;
           default:
             if (static_cast<unsigned char>(c) < 0x20) {
+                // Promote through unsigned char: a plain (signed) char
+                // would sign-extend into %x and overflow the %04x width.
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
                 out += buf;
             } else {
                 out += c;
@@ -139,6 +143,14 @@ JsonWriter::Value(bool v)
 {
     MaybeComma();
     out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::Raw(std::string_view json)
+{
+    MaybeComma();
+    out_ += json;
     return *this;
 }
 

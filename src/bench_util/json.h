@@ -58,6 +58,8 @@ class JsonWriter
     JsonWriter& Value(int64_t v);
     JsonWriter& Value(uint64_t v);
     JsonWriter& Value(bool v);
+    /** Splice pre-serialised JSON verbatim (caller guarantees validity). */
+    JsonWriter& Raw(std::string_view json);
 
     const std::string& str() const { return out_; }
 

@@ -1,0 +1,317 @@
+#include "bench_util/trajectory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+#include "tensor/kernels/kernels.h"
+
+namespace secemb::bench {
+
+namespace {
+
+std::string
+ReadCpuModelName()
+{
+#if defined(__linux__)
+    std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+    if (f == nullptr) return "";
+    char line[512];
+    std::string model;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::strncmp(line, "model name", 10) == 0) {
+            const char* colon = std::strchr(line, ':');
+            if (colon != nullptr) {
+                model = colon + 1;
+                while (!model.empty() &&
+                       (model.front() == ' ' || model.front() == '\t')) {
+                    model.erase(model.begin());
+                }
+                while (!model.empty() &&
+                       (model.back() == '\n' || model.back() == '\r')) {
+                    model.pop_back();
+                }
+            }
+            break;
+        }
+    }
+    std::fclose(f);
+    return model;
+#else
+    return "";
+#endif
+}
+
+}  // namespace
+
+MachineInfo
+CollectMachineInfo()
+{
+    MachineInfo m;
+#if defined(__unix__) || defined(__APPLE__)
+    utsname u;
+    if (uname(&u) == 0) {
+        m.os = std::string(u.sysname) + " " + u.release;
+        m.arch = u.machine;
+    }
+#endif
+    m.cpu = ReadCpuModelName();
+    m.isa = kernels::IsaName(kernels::ActiveIsa());
+    m.nproc = static_cast<int>(std::thread::hardware_concurrency());
+    return m;
+}
+
+bool
+ValidateBenchDoc(const JsonValue& doc, std::string* error)
+{
+    const auto fail = [&](const std::string& what) {
+        if (error != nullptr) *error = what;
+        return false;
+    };
+    if (!doc.IsObject()) return fail("bench doc is not an object");
+    const JsonValue* schema = doc.Find("schema");
+    if (schema == nullptr || !schema->IsString() ||
+        schema->str_v != "secemb-bench-v1") {
+        return fail("schema is not \"secemb-bench-v1\"");
+    }
+    const JsonValue* bench = doc.Find("bench");
+    if (bench == nullptr || !bench->IsString() || bench->str_v.empty()) {
+        return fail("missing \"bench\" name");
+    }
+    const JsonValue* results = doc.Find("results");
+    if (results == nullptr || !results->IsArray()) {
+        return fail("missing \"results\" array");
+    }
+    for (size_t i = 0; i < results->array_v.size(); ++i) {
+        const JsonValue& r = results->array_v[i];
+        const std::string at =
+            "results[" + std::to_string(i) + "] in bench \"" +
+            bench->str_v + "\"";
+        if (!r.IsObject()) return fail(at + " is not an object");
+        const JsonValue* name = r.Find("name");
+        if (name == nullptr || !name->IsString() || name->str_v.empty()) {
+            return fail(at + " missing \"name\"");
+        }
+        const JsonValue* latency = r.Find("latency_ns");
+        if (latency == nullptr || !latency->IsObject()) {
+            return fail(at + " missing \"latency_ns\"");
+        }
+        for (const char* key : {"count", "mean", "min", "max", "p50",
+                                "p95", "p99"}) {
+            const JsonValue* v = latency->Find(key);
+            // NaN serialises as null: legal for empty-sample stats.
+            if (v == nullptr ||
+                (!v->IsNumber() && v->kind != JsonValue::Kind::kNull)) {
+                return fail(at + " latency_ns missing \"" +
+                            std::string(key) + "\"");
+            }
+        }
+        for (const char* key : {"params", "counters"}) {
+            const JsonValue* v = r.Find(key);
+            if (v == nullptr || !v->IsObject()) {
+                return fail(at + " missing \"" + std::string(key) + "\"");
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+BuildSummaryJson(const MachineInfo& machine,
+                 const std::vector<BenchSource>& sources,
+                 std::string* error)
+{
+    // Parse + validate every report first so a summary can never embed a
+    // malformed document.
+    std::vector<JsonValue> parsed(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+        std::string perr;
+        if (!JsonParse(sources[i].report, &parsed[i], &perr)) {
+            if (error != nullptr) {
+                *error = sources[i].source + ": parse error: " + perr;
+            }
+            return "";
+        }
+        if (!ValidateBenchDoc(parsed[i], &perr)) {
+            if (error != nullptr) {
+                *error = sources[i].source + ": " + perr;
+            }
+            return "";
+        }
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").Value("secemb-bench-summary-v1");
+    w.Key("machine").BeginObject();
+    w.Key("os").Value(machine.os);
+    w.Key("arch").Value(machine.arch);
+    w.Key("cpu").Value(machine.cpu);
+    w.Key("isa").Value(machine.isa);
+    w.Key("nproc").Value(static_cast<int64_t>(machine.nproc));
+    w.EndObject();
+    w.Key("benches").BeginArray();
+    for (const BenchSource& s : sources) {
+        w.BeginObject();
+        w.Key("source").Value(s.source);
+        // Validated above, so splicing the verbatim text keeps the
+        // embedded report byte-identical to what the binary wrote.
+        w.Key("report").Raw(s.report);
+        w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.str();
+}
+
+bool
+ValidateSummary(const JsonValue& doc, std::string* error)
+{
+    const auto fail = [&](const std::string& what) {
+        if (error != nullptr) *error = what;
+        return false;
+    };
+    if (!doc.IsObject()) return fail("summary is not an object");
+    const JsonValue* schema = doc.Find("schema");
+    if (schema == nullptr || !schema->IsString() ||
+        schema->str_v != "secemb-bench-summary-v1") {
+        return fail("schema is not \"secemb-bench-summary-v1\"");
+    }
+    const JsonValue* machine = doc.Find("machine");
+    if (machine == nullptr || !machine->IsObject()) {
+        return fail("missing \"machine\" object");
+    }
+    for (const char* key : {"os", "arch", "cpu", "isa"}) {
+        const JsonValue* v = machine->Find(key);
+        if (v == nullptr || !v->IsString()) {
+            return fail("machine missing \"" + std::string(key) + "\"");
+        }
+    }
+    const JsonValue* nproc = machine->Find("nproc");
+    if (nproc == nullptr || !nproc->IsNumber()) {
+        return fail("machine missing \"nproc\"");
+    }
+    const JsonValue* benches = doc.Find("benches");
+    if (benches == nullptr || !benches->IsArray()) {
+        return fail("missing \"benches\" array");
+    }
+    for (size_t i = 0; i < benches->array_v.size(); ++i) {
+        const JsonValue& b = benches->array_v[i];
+        const std::string at = "benches[" + std::to_string(i) + "]";
+        if (!b.IsObject()) return fail(at + " is not an object");
+        const JsonValue* source = b.Find("source");
+        if (source == nullptr || !source->IsString()) {
+            return fail(at + " missing \"source\"");
+        }
+        const JsonValue* report = b.Find("report");
+        if (report == nullptr) return fail(at + " missing \"report\"");
+        std::string perr;
+        if (!ValidateBenchDoc(*report, &perr)) {
+            return fail(at + ": " + perr);
+        }
+    }
+    return true;
+}
+
+namespace {
+
+/** "<bench>/<result name>" -> mean latency, across every embedded report. */
+std::map<std::string, double>
+IndexMeans(const JsonValue& summary)
+{
+    std::map<std::string, double> means;
+    const JsonValue* benches = summary.Find("benches");
+    for (const JsonValue& b : benches->array_v) {
+        const JsonValue* report = b.Find("report");
+        const std::string& bench = report->Find("bench")->str_v;
+        for (const JsonValue& r : report->Find("results")->array_v) {
+            const JsonValue* mean = r.Find("latency_ns")->Find("mean");
+            if (!mean->IsNumber()) continue;  // null mean: no samples
+            means[bench + "/" + r.Find("name")->str_v] = mean->num_v;
+        }
+    }
+    return means;
+}
+
+}  // namespace
+
+bool
+CompareSummaries(const JsonValue& baseline, const JsonValue& current,
+                 double gate, CompareReport* out, std::string* error)
+{
+    std::string verr;
+    if (!ValidateSummary(baseline, &verr)) {
+        if (error != nullptr) *error = "baseline: " + verr;
+        return false;
+    }
+    if (!ValidateSummary(current, &verr)) {
+        if (error != nullptr) *error = "current: " + verr;
+        return false;
+    }
+    out->rows.clear();
+    out->only_in_baseline.clear();
+    out->only_in_current.clear();
+    out->gate = gate;
+    out->ok = true;
+
+    const auto base = IndexMeans(baseline);
+    const auto cur = IndexMeans(current);
+    for (const auto& [key, base_mean] : base) {
+        const auto it = cur.find(key);
+        if (it == cur.end()) {
+            out->only_in_baseline.push_back(key);
+            continue;
+        }
+        CompareRow row;
+        row.key = key;
+        row.baseline_mean_ns = base_mean;
+        row.current_mean_ns = it->second;
+        // A zero-mean baseline row (degenerate timer resolution) cannot
+        // express a meaningful ratio; treat it as informational only.
+        row.ratio = base_mean > 0.0 ? it->second / base_mean : 0.0;
+        row.regression = base_mean > 0.0 && row.ratio > gate;
+        if (row.regression) out->ok = false;
+        out->rows.push_back(std::move(row));
+    }
+    for (const auto& [key, mean] : cur) {
+        if (base.find(key) == base.end()) {
+            out->only_in_current.push_back(key);
+        }
+    }
+    return true;
+}
+
+std::string
+CompareReport::ToText() const
+{
+    std::string out;
+    char line[512];
+    std::snprintf(line, sizeof(line), "%-48s %14s %14s %8s  %s\n",
+                  "bench/result", "baseline(ns)", "current(ns)", "ratio",
+                  "verdict");
+    out += line;
+    for (const CompareRow& r : rows) {
+        std::snprintf(line, sizeof(line),
+                      "%-48s %14.1f %14.1f %8.3f  %s\n", r.key.c_str(),
+                      r.baseline_mean_ns, r.current_mean_ns, r.ratio,
+                      r.regression ? "REGRESSION" : "ok");
+        out += line;
+    }
+    for (const std::string& k : only_in_baseline) {
+        out += "  (removed since baseline) " + k + "\n";
+    }
+    for (const std::string& k : only_in_current) {
+        out += "  (new since baseline) " + k + "\n";
+    }
+    std::snprintf(line, sizeof(line), "gate: ratio > %.3f fails\n", gate);
+    out += line;
+    out += ok ? "RESULT: PASS\n" : "RESULT: FAIL\n";
+    return out;
+}
+
+}  // namespace secemb::bench

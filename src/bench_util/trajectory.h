@@ -1,0 +1,112 @@
+#pragma once
+
+/**
+ * @file
+ * Bench-trajectory harness: merge per-binary secemb-bench-v1 documents
+ * into one machine-annotated summary, and gate a new summary against a
+ * checked-in baseline.
+ *
+ * Schema "secemb-bench-summary-v1":
+ * {
+ *   "schema": "secemb-bench-summary-v1",
+ *   "machine": { "os": ..., "arch": ..., "cpu": ..., "isa": ...,
+ *                "nproc": N },
+ *   "benches": [
+ *     { "source": "<file the report came from>",
+ *       "report": { <verbatim secemb-bench-v1 document> } },
+ *     ...
+ *   ]
+ * }
+ *
+ * Comparison keys each result by "<bench>/<result name>" and compares
+ * mean latency: ratio = current / baseline. A row regresses when
+ * ratio > gate (default 1.15, i.e. >15% slower). Results present in only
+ * one summary are reported but never fail the gate — the bench tier is
+ * allowed to grow. The whole compare fails (CompareReport::ok == false)
+ * iff at least one shared result regresses.
+ *
+ * Everything here is pure (no exec, no clocks) so the regression gate is
+ * unit-testable; the secemb-bench-all driver owns running the binaries.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util/json.h"
+
+namespace secemb::bench {
+
+/** Host annotations stamped into every summary. */
+struct MachineInfo
+{
+    std::string os;    ///< uname sysname + release
+    std::string arch;  ///< uname machine
+    std::string cpu;   ///< /proc/cpuinfo "model name" (may be empty)
+    std::string isa;   ///< kernels::IsaName(ActiveIsa())
+    int nproc = 0;     ///< std::thread::hardware_concurrency
+};
+
+MachineInfo CollectMachineInfo();
+
+/**
+ * Check one parsed document against the secemb-bench-v1 schema (the same
+ * shape bench_smoke_check enforces). Returns false and fills *error with
+ * the first violation.
+ */
+bool ValidateBenchDoc(const JsonValue& doc, std::string* error);
+
+/** One per-binary report going into a summary. */
+struct BenchSource
+{
+    std::string source;  ///< provenance label (usually the JSON filename)
+    std::string report;  ///< verbatim secemb-bench-v1 document text
+};
+
+/**
+ * Build a secemb-bench-summary-v1 document. Each report must be a valid
+ * secemb-bench-v1 document; returns empty string and fills *error
+ * otherwise.
+ */
+std::string BuildSummaryJson(const MachineInfo& machine,
+                             const std::vector<BenchSource>& sources,
+                             std::string* error);
+
+/** Validate a parsed summary document; false + *error on violation. */
+bool ValidateSummary(const JsonValue& doc, std::string* error);
+
+// ---------------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------------
+
+/** One "<bench>/<result>" pair present in both summaries. */
+struct CompareRow
+{
+    std::string key;
+    double baseline_mean_ns = 0.0;
+    double current_mean_ns = 0.0;
+    double ratio = 0.0;  ///< current / baseline
+    bool regression = false;
+};
+
+struct CompareReport
+{
+    std::vector<CompareRow> rows;  ///< shared results, key-sorted
+    std::vector<std::string> only_in_baseline;
+    std::vector<std::string> only_in_current;
+    double gate = 0.0;
+    bool ok = true;  ///< false iff any shared row regressed
+
+    /** Human-readable table for the driver's stdout. */
+    std::string ToText() const;
+};
+
+/**
+ * Compare two parsed secemb-bench-summary-v1 documents.
+ * @param gate fail threshold on mean-latency ratio (1.15 = 15% slower).
+ * Returns false + *error if either document fails ValidateSummary.
+ */
+bool CompareSummaries(const JsonValue& baseline, const JsonValue& current,
+                      double gate, CompareReport* out, std::string* error);
+
+}  // namespace secemb::bench

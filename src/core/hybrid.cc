@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "perfmon/perfmon.h"
 #include "telemetry/telemetry.h"
 
 namespace secemb::core {
@@ -163,7 +164,7 @@ HybridGenerator::Active()
 void
 HybridGenerator::Generate(std::span<const int64_t> indices, Tensor& out)
 {
-    TELEMETRY_SPAN("hybrid.generate");
+    TELEMETRY_SCOPED_COUNTERS("hybrid.generate");
     // The dispatch count leaks only the technique choice, which is a
     // function of public quantities (table size, execution config) — the
     // same thing HybridGenerator::name() already exposes.

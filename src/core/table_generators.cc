@@ -5,6 +5,7 @@
 
 #include "oblivious/scan.h"
 #include "oblivious/vector_scan.h"
+#include "perfmon/perfmon.h"
 #include "telemetry/telemetry.h"
 #include "tensor/parallel.h"
 
@@ -66,7 +67,7 @@ LinearScanTable::Generate(std::span<const int64_t> indices, Tensor& out)
     const int64_t d = dim();
     const int64_t rows = num_rows();
     assert(out.size(0) == n && out.size(1) == d);
-    TELEMETRY_SPAN("scan.generate");
+    TELEMETRY_SCOPED_COUNTERS("scan.generate");
     TELEMETRY_SCOPED_LATENCY("scan.generate.ns");
 
     if (recorder_ == nullptr) {
@@ -104,7 +105,7 @@ LinearScanTable::GeneratePooled(std::span<const int64_t> indices,
     const int64_t d = dim();
     const int64_t rows = num_rows();
     assert(out.size(0) == n && out.size(1) == d);
-    TELEMETRY_SPAN("scan.generate_pooled");
+    TELEMETRY_SCOPED_COUNTERS("scan.generate_pooled");
     TELEMETRY_SCOPED_LATENCY("scan.generate.ns");
     // Accumulating scans: one pass over the table per bag element,
     // summing directly into the output row (no per-element buffer).

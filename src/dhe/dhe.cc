@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "perfmon/perfmon.h"
 #include "telemetry/telemetry.h"
 
 namespace secemb::dhe {
@@ -79,7 +80,7 @@ DheEmbedding::DheEmbedding(const DheConfig& config, Rng& rng, int nthreads)
 Tensor
 DheEmbedding::Forward(std::span<const int64_t> ids)
 {
-    TELEMETRY_SPAN("dhe.forward");
+    TELEMETRY_SCOPED_COUNTERS("dhe.forward");
     TELEMETRY_SCOPED_LATENCY("dhe.forward.ns");
     TELEMETRY_COUNT("dhe.forward.calls", 1);
     TELEMETRY_COUNT("dhe.forward.ids", ids.size());

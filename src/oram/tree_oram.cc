@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "oblivious/ct_ops.h"
+#include "perfmon/perfmon.h"
 #include "telemetry/telemetry.h"
 
 namespace secemb::oram {
@@ -724,7 +725,7 @@ TreeOram::Access(int64_t id, Op op, std::span<uint32_t> read_out,
     ++stats_.accesses;
     // Spans/counters fire once per access whatever `id` is; recursive
     // position-map accesses nest their own oram.access spans.
-    TELEMETRY_SPAN("oram.access");
+    TELEMETRY_SCOPED_COUNTERS("oram.access");
     TELEMETRY_SCOPED_LATENCY("oram.access.ns");
     TELEMETRY_COUNT("oram.accesses", 1);
 

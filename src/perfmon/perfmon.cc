@@ -1,0 +1,262 @@
+#include "perfmon/perfmon.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#if defined(__linux__) && SECEMB_PERFMON_ENABLED
+#define SECEMB_PERFMON_SYSCALLS 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define SECEMB_PERFMON_SYSCALLS 0
+#endif
+
+namespace secemb::perfmon {
+
+namespace {
+
+const char* const kEventNames[kNumEvents] = {
+    "cycles",        "instructions", "llc_misses",       "dtlb_misses",
+    "task_clock_ns", "page_faults",  "context_switches",
+};
+
+bool
+EnvEnables()
+{
+    const char* v = std::getenv("SECEMB_PERFMON");
+    if (v == nullptr) return false;
+    return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+           std::strcmp(v, "ON") == 0 || std::strcmp(v, "true") == 0;
+}
+
+std::atomic<bool>&
+EnabledFlag()
+{
+    static std::atomic<bool> enabled{EnvEnables()};
+    return enabled;
+}
+
+#if SECEMB_PERFMON_SYSCALLS
+
+/** Cache-event config triple (type | op | result), see perf_event_open(2). */
+constexpr uint64_t
+CacheConfig(uint64_t cache, uint64_t op, uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+/** attr (type, config) for each Event, in enum order. */
+struct EventSpec
+{
+    uint32_t type;
+    uint64_t config;
+};
+
+const EventSpec kEventSpecs[kNumEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     CacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE,
+     CacheConfig(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+};
+
+int
+OpenEvent(int idx)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = kEventSpecs[idx].type;
+    attr.config = kEventSpecs[idx].config;
+    attr.disabled = 0;
+    // Self-monitoring only, user space only: works at
+    // perf_event_paranoid <= 2 and never observes other tenants.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                            /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL);
+    return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+#endif  // SECEMB_PERFMON_SYSCALLS
+
+}  // namespace
+
+const char*
+EventName(Event e)
+{
+    return kEventNames[static_cast<size_t>(e)];
+}
+
+Sample
+Sample::Delta(const Sample& begin, const Sample& end)
+{
+    Sample d;
+    for (int i = 0; i < kNumEvents; ++i) {
+        const auto idx = static_cast<size_t>(i);
+        d.available[idx] = begin.available[idx] && end.available[idx];
+        if (d.available[idx] && end.value[idx] >= begin.value[idx]) {
+            d.value[idx] = end.value[idx] - begin.value[idx];
+        }
+    }
+    return d;
+}
+
+void
+SetEnabled(bool enabled)
+{
+    EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool
+Enabled()
+{
+    return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+CounterGroup::CounterGroup()
+{
+    for (int i = 0; i < kNumEvents; ++i) fds_[i] = -1;
+#if SECEMB_PERFMON_SYSCALLS
+    for (int i = 0; i < kNumEvents; ++i) fds_[i] = OpenEvent(i);
+#endif
+}
+
+CounterGroup::~CounterGroup()
+{
+#if SECEMB_PERFMON_SYSCALLS
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (fds_[i] >= 0) close(fds_[i]);
+    }
+#endif
+}
+
+bool
+CounterGroup::Available(Event e) const
+{
+    return fds_[static_cast<size_t>(e)] >= 0;
+}
+
+bool
+CounterGroup::AnyAvailable() const
+{
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (fds_[i] >= 0) return true;
+    }
+    return false;
+}
+
+Sample
+CounterGroup::Read() const
+{
+    Sample s;
+#if SECEMB_PERFMON_SYSCALLS
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (fds_[i] < 0) continue;
+        uint64_t v = 0;
+        if (read(fds_[i], &v, sizeof(v)) == sizeof(v)) {
+            const auto idx = static_cast<size_t>(i);
+            s.value[idx] = v;
+            s.available[idx] = true;
+        }
+    }
+#endif
+    return s;
+}
+
+void
+CounterGroup::Reset()
+{
+#if SECEMB_PERFMON_SYSCALLS
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (fds_[i] >= 0) ioctl(fds_[i], PERF_EVENT_IOC_RESET, 0);
+    }
+#endif
+}
+
+CounterGroup&
+ThreadCounterGroup()
+{
+    thread_local CounterGroup group;
+    return group;
+}
+
+bool
+HardwareCountersAvailable()
+{
+    static const bool available = [] {
+#if SECEMB_PERFMON_SYSCALLS
+        CounterGroup probe;
+        return probe.Available(Event::kCycles) ||
+               probe.Available(Event::kInstructions) ||
+               probe.Available(Event::kLlcMisses) ||
+               probe.Available(Event::kDtlbMisses);
+#else
+        return false;
+#endif
+    }();
+    return available;
+}
+
+std::string
+AvailabilitySummary()
+{
+    CounterGroup probe;
+    std::string out;
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (!out.empty()) out += ' ';
+        out += kEventNames[i];
+        out += probe.Available(static_cast<Event>(i)) ? "=ok" : "=n/a";
+    }
+#if !SECEMB_PERFMON_SYSCALLS
+    out += " (perfmon compiled out or non-linux)";
+#endif
+    return out;
+}
+
+SiteCounters&
+RegisterSite(const char* name)
+{
+    // Leaked map (same rationale as the telemetry registry): sites may be
+    // touched from static destructors.
+    static std::mutex* mu = new std::mutex();
+    static auto* sites = new std::map<std::string, SiteCounters>();
+    std::lock_guard<std::mutex> lock(*mu);
+    const auto it = sites->find(name);
+    if (it != sites->end()) return it->second;
+    SiteCounters site;
+    auto& registry = telemetry::Registry::Instance();
+    const std::string prefix = std::string("perf.") + name + ".";
+    for (int i = 0; i < kNumEvents; ++i) {
+        site.events[i] = &registry.GetCounter(prefix + kEventNames[i]);
+    }
+    site.spans = &registry.GetCounter(prefix + "spans");
+    return sites->emplace(name, site).first->second;
+}
+
+void
+ScopedCounters::Finish()
+{
+    const Sample end = ThreadCounterGroup().Read();
+    const Sample delta = Sample::Delta(begin_, end);
+    for (int i = 0; i < kNumEvents; ++i) {
+        const auto idx = static_cast<size_t>(i);
+        if (delta.available[idx]) {
+            site_->events[idx]->Add(delta.value[idx]);
+        }
+    }
+    site_->spans->Add(1);
+}
+
+}  // namespace secemb::perfmon

@@ -1,0 +1,203 @@
+#pragma once
+
+/**
+ * @file
+ * Hardware performance-counter sampling via perf_event_open(2).
+ *
+ * A CounterGroup opens one self-monitoring counter fd per event (LLC
+ * misses, dTLB misses, instructions, cycles, plus the software events
+ * task-clock / page-faults / context-switches that keep working where the
+ * PMU is hidden, e.g. most containers). Every event degrades
+ * independently: if the kernel refuses an event (perf_event_paranoid,
+ * missing PMU, seccomp), that event simply reads as unavailable and
+ * everything else keeps working — there is no configuration in which
+ * construction throws or instrumented code changes behaviour.
+ *
+ * Attachment points:
+ *   - TELEMETRY_SCOPED_COUNTERS(name): like TELEMETRY_SPAN, but also
+ *     accumulates per-event deltas into telemetry counters named
+ *     "perf.<name>.<event>" (visible in Registry::TakeSnapshot and every
+ *     --json bench report via BenchReport::AttachTelemetryCounters).
+ *   - CounterGroup directly, for benches that bracket a measured region
+ *     (see bench/perf01_xcheck.cc, the cache-model cross-check).
+ *
+ * Obliviousness-preserving rule (same contract as the tracer): counters
+ * are read only at span boundaries — entry and exit of public control
+ * flow — never conditionally on secret data, and a read touches no
+ * instrumented victim memory (a read(2) into a stack buffer). The
+ * perfmon_test leakage suite certifies that recorded victim traces are
+ * bit-identical with perfmon ON vs OFF.
+ *
+ * Switches:
+ *   - CMake -DSECEMB_PERFMON=OFF compiles the macro down to
+ *     TELEMETRY_SPAN and stubs the syscall layer (everything reads
+ *     unavailable); the runtime API still links.
+ *   - At runtime sampling is *disabled by default* — counter reads are
+ *     ~14 syscalls per span and must never distort an uninstrumented
+ *     run. Enable per process with SECEMB_PERFMON=on (or =1/true) in the
+ *     environment, or programmatically with perfmon::SetEnabled(true).
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace secemb::perfmon {
+
+#if !defined(SECEMB_PERFMON_ENABLED)
+#define SECEMB_PERFMON_ENABLED 1
+#endif
+
+/** The fixed event set a CounterGroup samples. */
+enum class Event : int
+{
+    kCycles = 0,        ///< PERF_COUNT_HW_CPU_CYCLES
+    kInstructions,      ///< PERF_COUNT_HW_INSTRUCTIONS
+    kLlcMisses,         ///< LLC read misses (PERF_TYPE_HW_CACHE)
+    kDtlbMisses,        ///< dTLB read misses (PERF_TYPE_HW_CACHE)
+    kTaskClockNs,       ///< PERF_COUNT_SW_TASK_CLOCK (always-on fallback)
+    kPageFaults,        ///< PERF_COUNT_SW_PAGE_FAULTS
+    kContextSwitches,   ///< PERF_COUNT_SW_CONTEXT_SWITCHES
+};
+
+inline constexpr int kNumEvents = 7;
+
+/** Stable short name ("llc_misses", ...) used in metric/JSON keys. */
+const char* EventName(Event e);
+
+/** One reading of every event (totals or deltas, caller's context). */
+struct Sample
+{
+    std::array<uint64_t, kNumEvents> value{};
+    std::array<bool, kNumEvents> available{};
+
+    uint64_t
+    operator[](Event e) const
+    {
+        return value[static_cast<size_t>(e)];
+    }
+
+    bool
+    has(Event e) const
+    {
+        return available[static_cast<size_t>(e)];
+    }
+
+    /** Per-event end - begin; an event is available iff both sides had it. */
+    static Sample Delta(const Sample& begin, const Sample& end);
+};
+
+/**
+ * Runtime master switch. Initialised once from the SECEMB_PERFMON
+ * environment variable ("1"/"on"/"true" enables); defaults to off.
+ */
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/** True if at least one *hardware* event can be opened (probed once). */
+bool HardwareCountersAvailable();
+
+/** Human-readable per-event availability, for bench/CLI banners. */
+std::string AvailabilitySummary();
+
+/**
+ * A set of per-thread self-monitoring counters, one fd per event.
+ * Construction never fails: events the kernel refuses are simply marked
+ * unavailable. Counters follow the opening thread only; in ParallelFor
+ * regions they cover the calling thread's share of the work.
+ */
+class CounterGroup
+{
+  public:
+    CounterGroup();
+    ~CounterGroup();
+
+    CounterGroup(const CounterGroup&) = delete;
+    CounterGroup& operator=(const CounterGroup&) = delete;
+
+    bool Available(Event e) const;
+    bool AnyAvailable() const;
+
+    /** Running totals since construction or the last Reset(). */
+    Sample Read() const;
+
+    /** Zero every available counter. */
+    void Reset();
+
+  private:
+    int fds_[kNumEvents];
+};
+
+/**
+ * The lazily-opened CounterGroup TELEMETRY_SCOPED_COUNTERS reads from on
+ * this thread. Opened on first use after perfmon is enabled.
+ */
+CounterGroup& ThreadCounterGroup();
+
+/**
+ * Per-call-site registry slots: one telemetry counter per event named
+ * "perf.<site>.<event>" plus "perf.<site>.spans" counting executions.
+ * Returned reference is process-lifetime stable.
+ */
+struct SiteCounters
+{
+    telemetry::Counter* events[kNumEvents];
+    telemetry::Counter* spans;
+};
+
+SiteCounters& RegisterSite(const char* name);
+
+/**
+ * RAII sampler: reads the thread counter group at construction and
+ * destruction (span boundaries only) and accumulates the deltas into the
+ * site's telemetry counters. No-op unless both perfmon and telemetry are
+ * enabled at entry.
+ */
+class ScopedCounters
+{
+  public:
+    explicit ScopedCounters(SiteCounters& site)
+    {
+        if (Enabled() && telemetry::Enabled()) {
+            site_ = &site;
+            begin_ = ThreadCounterGroup().Read();
+        }
+    }
+
+    ~ScopedCounters()
+    {
+        if (site_ != nullptr) Finish();
+    }
+
+    ScopedCounters(const ScopedCounters&) = delete;
+    ScopedCounters& operator=(const ScopedCounters&) = delete;
+
+  private:
+    void Finish();
+
+    SiteCounters* site_ = nullptr;  ///< nullptr = disabled at entry
+    Sample begin_;
+};
+
+#if SECEMB_PERFMON_ENABLED && SECEMB_TELEMETRY_ENABLED
+/**
+ * Open a scoped telemetry span *and* sample the perf counters across it:
+ *   TELEMETRY_SCOPED_COUNTERS("tensor.gemm");
+ * Falls back to a plain TELEMETRY_SPAN when perfmon is compiled out, and
+ * to nothing when telemetry is compiled out.
+ */
+#define TELEMETRY_SCOPED_COUNTERS(name)                                    \
+    TELEMETRY_SPAN(name);                                                  \
+    static ::secemb::perfmon::SiteCounters& SECEMB_TELEMETRY_CONCAT(       \
+        secemb_perfmon_site_, __LINE__) =                                  \
+        ::secemb::perfmon::RegisterSite(name);                             \
+    ::secemb::perfmon::ScopedCounters SECEMB_TELEMETRY_CONCAT(             \
+        secemb_perfmon_scope_, __LINE__)(                                  \
+        SECEMB_TELEMETRY_CONCAT(secemb_perfmon_site_, __LINE__))
+#else
+#define TELEMETRY_SCOPED_COUNTERS(name) TELEMETRY_SPAN(name)
+#endif
+
+}  // namespace secemb::perfmon

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "perfmon/perfmon.h"
 #include "telemetry/telemetry.h"
 
 namespace secemb::serving {
@@ -31,6 +32,10 @@ Server::Server(
                                 kMaxDegradeLevel))
 {
     if (config_.max_batch < 1) config_.max_batch = 1;
+    if (config_.flight_recorder_capacity > 0) {
+        flight_ = std::make_unique<FlightRecorder>(
+            config_.flight_recorder_capacity);
+    }
     for (auto& sink : sinks_) {
         sink.store(nullptr, std::memory_order_relaxed);
     }
@@ -97,6 +102,7 @@ Server::Submit(Request req)
 {
     Pending p;
     p.req = std::move(req);
+    p.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     std::future<Response> fut = p.promise.get_future();
 
     submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -112,9 +118,16 @@ Server::Submit(Request req)
 
     const int degrade = degrade_level_.load(std::memory_order_relaxed);
     if (Status v = Validate(p.req); !v.ok()) {
+        RecordHop(p.id, FlightHop::kInvalidArgument, v.code,
+                  p.req.feature, degrade, 0);
         Respond(p, std::move(v), Tensor(), 0, degrade);
         return fut;
     }
+
+    // The admission decision is recorded before fulfilling the promise so
+    // a client woken by the future finds its full flight already written.
+    const uint64_t id = p.id;
+    const int feature = p.req.feature;
 
     // TryPush moves `p` only on kOk; on every rejection we still own it
     // (and its promise) and fulfil the typed status immediately.
@@ -123,10 +136,14 @@ Server::Submit(Request req)
             accepted_.fetch_add(1, std::memory_order_relaxed);
             TELEMETRY_COUNT("serving.accepted", 1);
             TELEMETRY_GAUGE_SET("serving.queue_depth", queue_.size());
+            RecordHop(id, FlightHop::kEnqueue, StatusCode::kOk, feature,
+                      degrade, 0);
             break;
         case StatusCode::kShed:
             shed_.fetch_add(1, std::memory_order_relaxed);
             TELEMETRY_COUNT("serving.shed", 1);
+            RecordHop(id, FlightHop::kShed, StatusCode::kShed, feature,
+                      degrade, 0);
             Respond(p,
                     Status::Error(StatusCode::kShed,
                                   "queue full (admission control)"),
@@ -135,6 +152,8 @@ Server::Submit(Request req)
         case StatusCode::kShutdown:
             rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
             TELEMETRY_COUNT("serving.rejected_shutdown", 1);
+            RecordHop(id, FlightHop::kRejectedShutdown,
+                      StatusCode::kShutdown, feature, degrade, 0);
             Respond(p,
                     Status::Error(StatusCode::kShutdown,
                                   "server is shutting down"),
@@ -142,6 +161,8 @@ Server::Submit(Request req)
             break;
         default:
             TELEMETRY_COUNT("serving.admission_alloc_failure", 1);
+            RecordHop(id, FlightHop::kAdmissionAllocFail,
+                      StatusCode::kResourceExhausted, feature, degrade, 0);
             Respond(p,
                     Status::Error(StatusCode::kResourceExhausted,
                                   "allocation failed during admission"),
@@ -203,7 +224,20 @@ Server::BatcherLoop()
             if (queue_.PopWait(&next, wait) != PopResult::kItem) break;
             batch.push_back(std::move(next));
         }
-        TELEMETRY_GAUGE_SET("serving.queue_depth", queue_.size());
+        const size_t depth = queue_.size();
+        TELEMETRY_GAUGE_SET("serving.queue_depth", depth);
+        // Sampled depth time-series: one observation per batch flush, so
+        // the histogram answers "how deep did the queue run?" (p50/p99)
+        // rather than only "how deep is it right now".
+        TELEMETRY_HIST("serving.queue_depth.sample",
+                       static_cast<int64_t>(depth));
+        const int degrade =
+            degrade_level_.load(std::memory_order_relaxed);
+        for (const Pending& p : batch) {
+            RecordHop(p.id, FlightHop::kBatchJoin, StatusCode::kOk,
+                      p.req.feature, degrade,
+                      static_cast<uint32_t>(batch.size()));
+        }
         ServeBatch(batch);
     }
 }
@@ -211,6 +245,7 @@ Server::BatcherLoop()
 void
 Server::ServeBatch(std::vector<Pending>& batch)
 {
+    TELEMETRY_SCOPED_COUNTERS("serving.batch");
     const int degrade = degrade_level_.load(std::memory_order_relaxed);
     const uint64_t start = NowNs();
 
@@ -222,6 +257,9 @@ Server::ServeBatch(std::vector<Pending>& batch)
         if (p.deadline_ns != 0 && start > p.deadline_ns) {
             deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
             TELEMETRY_COUNT("serving.deadline_exceeded", 1);
+            RecordHop(p.id, FlightHop::kDeadlineExceeded,
+                      StatusCode::kDeadlineExceeded, p.req.feature,
+                      degrade, 0);
             Respond(p,
                     Status::Error(StatusCode::kDeadlineExceeded,
                                   "deadline expired before serving"),
@@ -332,9 +370,19 @@ Server::ServeGroupReturningFault(int feature, bool pooled,
         call = [&] { gen.GeneratePooled(indices, offsets, out); };
     }
 
+    for (const Pending* p : group) {
+        RecordHop(p->id, FlightHop::kServeStart, StatusCode::kOk, feature,
+                  degrade, static_cast<uint32_t>(group.size()));
+    }
     int retries = 0;
     Status st = GenerateWithRetry(feature, call, &retries);
     const bool had_fault = retries > 0 || !st.ok();
+    if (retries > 0) {
+        for (const Pending* p : group) {
+            RecordHop(p->id, FlightHop::kRetry, st.code, feature, degrade,
+                      static_cast<uint32_t>(retries));
+        }
+    }
     if (!st.ok()) {
         for (Pending* p : group) {
             Respond(*p, st, Tensor(), retries, degrade);
@@ -415,9 +463,12 @@ Server::Respond(Pending& p, Status status, Tensor embeddings, int retries,
     const uint64_t now = NowNs();
     const uint64_t e2e = now >= p.enqueue_ns ? now - p.enqueue_ns : 0;
     const bool ok = status.ok();
+    RecordHop(p.id, FlightHop::kRespond, status.code, p.req.feature,
+              degrade, static_cast<uint32_t>(retries));
     Response resp;
     resp.status = std::move(status);
     resp.embeddings = std::move(embeddings);
+    resp.request_id = p.id;
     resp.e2e_ns = e2e;
     resp.retries = retries;
     resp.degrade_level = degrade;
@@ -432,6 +483,23 @@ Server::Respond(Pending& p, Status status, Tensor embeddings, int retries,
     }
     TELEMETRY_HIST("serving.e2e.ns", e2e);
     p.promise.set_value(std::move(resp));
+}
+
+void
+Server::RecordHop(uint64_t id, FlightHop hop, StatusCode code,
+                  int feature, int degrade, uint32_t detail)
+{
+    if (flight_ == nullptr) return;
+    FlightEvent e;
+    e.request_id = id;
+    e.t_ns = NowNs();
+    e.queue_depth = static_cast<uint32_t>(queue_.size());
+    e.detail = detail;
+    e.code = code;
+    e.feature = static_cast<int16_t>(feature);
+    e.hop = hop;
+    e.degrade = static_cast<uint8_t>(std::clamp(degrade, 0, 255));
+    flight_->Record(e);
 }
 
 void
@@ -494,6 +562,10 @@ Server::GetStats() const
     s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
     s.degrade_level = degrade_level_.load(std::memory_order_relaxed);
     s.queue_depth = queue_.size();
+    if (flight_ != nullptr) {
+        s.flight_recorded = flight_->recorded();
+        s.flight_dropped = flight_->dropped();
+    }
     return s;
 }
 

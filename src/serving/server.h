@@ -53,6 +53,7 @@
 #include "core/embedding_generator.h"
 #include "fault/fault.h"
 #include "serving/clock.h"
+#include "serving/flight_recorder.h"
 #include "serving/queue.h"
 #include "serving/status.h"
 #include "tensor/tensor.h"
@@ -88,6 +89,9 @@ struct ServerConfig
     /// Time source; nullptr = DefaultClock(). Point at a FaultSkewedClock
     /// to let a FaultPlan skew batcher time.
     const Clock* clock = nullptr;
+    /// Flight-recorder ring capacity (events, rounded up to a power of
+    /// two). 0 disables per-request lifecycle recording entirely.
+    size_t flight_recorder_capacity = 2048;
 };
 
 struct Request
@@ -110,6 +114,9 @@ struct Response
     Status status;
     /// (rows x dim) on kOk — one row per index, or per bag when pooled.
     Tensor embeddings;
+    /// Process-unique id assigned at Submit; the key into the flight
+    /// recorder (FlightRecorder::ForRequest) for post-hoc diagnosis.
+    uint64_t request_id = 0;
     uint64_t e2e_ns = 0;      ///< submit-to-fulfil latency
     int retries = 0;          ///< transient-fault retries spent
     int degrade_level = 0;    ///< level the batch was served at
@@ -131,6 +138,10 @@ struct ServerStats
     uint64_t degraded_batches = 0;
     int degrade_level = 0;
     size_t queue_depth = 0;
+    /// Flight-recorder occupancy: total lifecycle events recorded and
+    /// how many were overwritten by ring wrap (0/0 when disabled).
+    uint64_t flight_recorded = 0;
+    uint64_t flight_dropped = 0;
 };
 
 class Server
@@ -172,6 +183,14 @@ class Server
     size_t queue_depth() const { return queue_.size(); }
 
     /**
+     * The per-request flight recorder, or nullptr when disabled
+     * (flight_recorder_capacity = 0). Query ForRequest(id) with a
+     * Response's request_id to reconstruct its path through the server;
+     * WriteChromeTrace dumps the retained window.
+     */
+    const FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+    /**
      * Attach a per-feature canonical-trace sink (verify harness hook).
      * Only successful generation attempts append to it; set before
      * submitting traffic.
@@ -183,6 +202,7 @@ class Server
     {
         Request req;
         std::promise<Response> promise;
+        uint64_t id = 0;           ///< process-unique request id
         uint64_t enqueue_ns = 0;
         uint64_t deadline_ns = 0;  ///< 0 = none
     };
@@ -201,6 +221,10 @@ class Server
                              int* retries_out);
     void Respond(Pending& p, Status status, Tensor embeddings, int retries,
                  int degrade);
+    /** Append one lifecycle event for request `id` (no-op when the
+     *  recorder is disabled). Payloads are public-only by contract. */
+    void RecordHop(uint64_t id, FlightHop hop, StatusCode code,
+                   int feature, int degrade, uint32_t detail);
     void UpdateDegrade(bool batch_had_faults);
     int BatchCeiling(int degrade) const;
     uint64_t NowNs() const { return clock_->NowNs(); }
@@ -212,6 +236,8 @@ class Server
     const Clock* clock_;
 
     BoundedQueue<Pending, fault::FaultAllocator<Pending>> queue_;
+    std::unique_ptr<FlightRecorder> flight_;  ///< nullptr = disabled
+    std::atomic<uint64_t> next_request_id_{1};
     std::thread batcher_;
     std::once_flag shutdown_once_;
 

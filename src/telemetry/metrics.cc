@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,7 +73,7 @@ double
 Histogram::Percentile(double p) const
 {
     const uint64_t count = Count();
-    if (count == 0) return 0.0;
+    if (count == 0) return std::numeric_limits<double>::quiet_NaN();
     const uint64_t observed_min = min_.load(std::memory_order_relaxed);
     const uint64_t observed_max = max_.load(std::memory_order_relaxed);
     if (p <= 0.0) return static_cast<double>(observed_min);

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -89,16 +90,19 @@ class Histogram
     static constexpr size_t kNumBuckets =
         kSubBuckets + (64 - kSubBucketLog2) * kSubBuckets;
 
+    /** Point-in-time summary. With count == 0 there is no data to
+     *  summarise, so mean/p50/p95/p99 are NaN (serialised as null by
+     *  JsonWriter) rather than a misleading 0.0. */
     struct Snapshot
     {
         uint64_t count = 0;
         uint64_t sum = 0;
         uint64_t min = 0;
         uint64_t max = 0;
-        double mean = 0.0;
-        double p50 = 0.0;
-        double p95 = 0.0;
-        double p99 = 0.0;
+        double mean = std::numeric_limits<double>::quiet_NaN();
+        double p50 = std::numeric_limits<double>::quiet_NaN();
+        double p95 = std::numeric_limits<double>::quiet_NaN();
+        double p99 = std::numeric_limits<double>::quiet_NaN();
     };
 
     Histogram() = default;
@@ -106,8 +110,10 @@ class Histogram
     void Record(uint64_t value) noexcept;
 
     /**
-     * Approximate value at percentile p in [0, 100]; returns 0 for an
-     * empty histogram. p <= 0 reports the minimum, p >= 100 the maximum.
+     * Approximate value at percentile p in [0, 100]; returns NaN for an
+     * empty histogram (there is no sample to report — 0 would be
+     * indistinguishable from a real 0ns latency). p <= 0 reports the
+     * minimum, p >= 100 the maximum.
      */
     double Percentile(double p) const;
 

@@ -120,6 +120,32 @@ LocalRing()
     return ring;
 }
 
+/** Span names are string literals by convention, but the trace document
+ *  must stay well-formed JSON whatever a caller passes. */
+std::string
+EscapeJson(const char* s)
+{
+    std::string out;
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
 }  // namespace
 
 void
@@ -195,7 +221,7 @@ WriteChromeTrace(const std::string& path)
             f,
             "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%u,"
             "\"ts\":%.3f,\"dur\":%.3f}",
-            first ? "" : ",", s.name, s.tid,
+            first ? "" : ",", EscapeJson(s.name).c_str(), s.tid,
             static_cast<double>(s.start_ns) * 1e-3,
             static_cast<double>(s.dur_ns) * 1e-3);
         first = false;

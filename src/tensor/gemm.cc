@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "perfmon/perfmon.h"
 #include "telemetry/telemetry.h"
 #include "tensor/parallel.h"
 
@@ -53,7 +54,7 @@ Gemm(const Tensor& a, const Tensor& b, Tensor& c, int nthreads)
     const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
     if (b.size(0) != k) throw std::invalid_argument("Gemm: inner mismatch");
     CheckMatMulShapes(a, b, c, m, k, n, k, n);
-    TELEMETRY_SPAN("tensor.gemm");
+    TELEMETRY_SCOPED_COUNTERS("tensor.gemm");
     TELEMETRY_COUNT("tensor.gemm.calls", 1);
     TELEMETRY_COUNT("tensor.gemm.flops", 2 * m * k * n);
     AssertKernelAlignment(a, c);

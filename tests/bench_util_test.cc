@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -253,6 +255,95 @@ TEST(BenchReportTest, EmitsSchemaStableDocument)
     EXPECT_DOUBLE_EQ(lat->Find("p99")->num_v, 300.0);
     EXPECT_DOUBLE_EQ(res.Find("counters")->Find("scan.rows")->num_v,
                      4096.0);
+}
+
+// --- escaping hardening ----------------------------------------------------
+
+TEST(JsonEscapeTest, AllControlCharactersRoundTrip)
+{
+    // Every byte below 0x20, plus quote and backslash, must escape into
+    // a document the parser reads back verbatim — including 0x80-0xff
+    // bytes, which must never sign-extend into a bogus \uffXX escape.
+    std::string hostile;
+    for (int c = 1; c < 0x20; ++c) hostile.push_back(static_cast<char>(c));
+    hostile += "\"\\/";
+    hostile.push_back(static_cast<char>(0xe2));  // multi-byte UTF-8 lead
+    hostile.push_back(static_cast<char>(0x82));
+    hostile.push_back(static_cast<char>(0xac));  // euro sign
+
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("s").Value(hostile);
+    w.EndObject();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonParse(w.str(), &doc, &error)) << error << "\n"
+                                                  << w.str();
+    ASSERT_NE(doc.Find("s"), nullptr);
+    EXPECT_EQ(doc.Find("s")->str_v, hostile);
+    // No high byte may have produced a \uffXX-style sign-extended escape.
+    EXPECT_EQ(w.str().find("\\uff"), std::string::npos) << w.str();
+}
+
+TEST(JsonEscapeTest, HostileBenchAndResultNamesSurviveReport)
+{
+    const std::string evil = "quote\" slash\\ newline\n tab\t bell\x07";
+    BenchReport report(evil);
+    auto& r = report.AddResult(evil + " result");
+    r.str_params.emplace_back(evil, evil);
+    r.latency = LatencyStats::FromMean(1.0, 1);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonParse(report.ToJson(), &doc, &error)) << error;
+    EXPECT_EQ(doc.Find("bench")->str_v, evil);
+    const JsonValue& res = doc.Find("results")->array_v[0];
+    EXPECT_EQ(res.Find("name")->str_v, evil + " result");
+    EXPECT_EQ(res.Find("params")->Find(evil)->str_v, evil);
+}
+
+TEST(JsonWriterTest, RawSplicesVerbatimWithCommas)
+{
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("a").Value(int64_t{1});
+    w.Key("b").Raw("{\"nested\":[1,2,3]}");
+    w.Key("c").BeginArray();
+    w.Raw("true");
+    w.Raw("{\"x\":null}");
+    w.EndArray();
+    w.EndObject();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonParse(w.str(), &doc, &error)) << error << "\n"
+                                                  << w.str();
+    const JsonValue* b = doc.Find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(b->IsObject());
+    EXPECT_EQ(b->Find("nested")->array_v.size(), 3u);
+    const JsonValue* c = doc.Find("c");
+    ASSERT_NE(c, nullptr);
+    ASSERT_EQ(c->array_v.size(), 2u);
+    EXPECT_EQ(c->array_v[0].kind, JsonValue::Kind::kBool);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerialiseAsNull)
+{
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("nan").Value(std::nan(""));
+    w.Key("inf").Value(std::numeric_limits<double>::infinity());
+    w.Key("ok").Value(1.5);
+    w.EndObject();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonParse(w.str(), &doc, &error)) << error;
+    EXPECT_EQ(doc.Find("nan")->kind, JsonValue::Kind::kNull);
+    EXPECT_EQ(doc.Find("inf")->kind, JsonValue::Kind::kNull);
+    EXPECT_DOUBLE_EQ(doc.Find("ok")->num_v, 1.5);
 }
 
 }  // namespace

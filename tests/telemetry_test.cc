@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -134,16 +135,25 @@ TEST(HistogramTest, PercentilesOnHeavyTailedSamples)
 
 TEST(HistogramTest, EmptyHistogram)
 {
+    // An empty histogram has no sample to report: percentiles are NaN,
+    // not 0 — a 0 would read as "the p99 latency was 0ns", which is a
+    // real (excellent) measurement, not an absent one. JsonWriter
+    // serialises NaN as null, so empty series stay visibly empty in
+    // bench reports too.
     Histogram hist;
     EXPECT_EQ(hist.Count(), 0u);
     EXPECT_EQ(hist.Sum(), 0u);
-    EXPECT_EQ(hist.Percentile(50.0), 0.0);
+    EXPECT_TRUE(std::isnan(hist.Percentile(50.0)));
+    EXPECT_TRUE(std::isnan(hist.Percentile(0.0)));
+    EXPECT_TRUE(std::isnan(hist.Percentile(100.0)));
     const Histogram::Snapshot snap = hist.TakeSnapshot();
     EXPECT_EQ(snap.count, 0u);
     EXPECT_EQ(snap.min, 0u);
     EXPECT_EQ(snap.max, 0u);
-    EXPECT_EQ(snap.p50, 0.0);
-    EXPECT_EQ(snap.p99, 0.0);
+    EXPECT_TRUE(std::isnan(snap.mean));
+    EXPECT_TRUE(std::isnan(snap.p50));
+    EXPECT_TRUE(std::isnan(snap.p95));
+    EXPECT_TRUE(std::isnan(snap.p99));
 }
 
 TEST(HistogramTest, SingleSample)
@@ -182,7 +192,7 @@ TEST(HistogramTest, ResetClears)
     hist.Record(50);
     hist.Reset();
     EXPECT_EQ(hist.Count(), 0u);
-    EXPECT_EQ(hist.Percentile(50.0), 0.0);
+    EXPECT_TRUE(std::isnan(hist.Percentile(50.0)));
     hist.Record(9);
     EXPECT_EQ(hist.Percentile(50.0), 9.0);
 }
@@ -202,6 +212,54 @@ TEST(HistogramTest, ConcurrentRecordingLosesNothing)
     for (auto& w : workers) w.join();
     EXPECT_EQ(hist.Count(),
               static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, SnapshotHammerWhileRecording)
+{
+    // One thread takes registry snapshots continuously while 8 writers
+    // record into the same histogram/counter: every intermediate snapshot
+    // must be internally sane (no torn counts), and once the writers
+    // quiesce the final snapshot is exact. Run under TSan via
+    // `ctest -L concurrency`.
+    auto& reg = Registry::Instance();
+    Histogram& hist = reg.GetHistogram("test.hammer.hist");
+    Counter& ctr = reg.GetCounter("test.hammer.counter");
+    hist.Reset();
+    ctr.Reset();
+
+    constexpr int kThreads = 8, kPerThread = 5000;
+    std::atomic<bool> stop{false};
+    std::thread snapshotter([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const auto snap = reg.TakeSnapshot();
+            for (const auto& [name, h] : snap.histograms) {
+                if (name != "test.hammer.hist") continue;
+                ASSERT_LE(h.count,
+                          static_cast<uint64_t>(kThreads) * kPerThread);
+                if (h.count > 0) {
+                    ASSERT_FALSE(std::isnan(h.p50));
+                    ASSERT_GE(h.max, h.min);
+                }
+            }
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                hist.Record(static_cast<uint64_t>(i % 1000) + 1);
+                ctr.Add(1);
+            }
+        });
+    }
+    for (auto& w : writers) w.join();
+    stop.store(true, std::memory_order_relaxed);
+    snapshotter.join();
+
+    EXPECT_EQ(hist.Count(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(ctr.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
 // --- counters / gauges / registry ------------------------------------------

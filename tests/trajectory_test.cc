@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Bench-trajectory harness tests: secemb-bench-v1 / summary schema
+ * validation, summary building (verbatim report embedding), the
+ * regression gate (catches a 2x slowdown, tolerates within-gate noise,
+ * never fails on added/removed benches, NaN and zero-mean rows are
+ * informational), and an end-to-end exec of the secemb-bench-all driver
+ * in --compare mode: it must exit non-zero exactly when a shared result
+ * regressed past the gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util/json.h"
+#include "bench_util/trajectory.h"
+
+namespace secemb::bench {
+namespace {
+
+/** A minimal valid secemb-bench-v1 document with one result. */
+std::string
+BenchDoc(const std::string& bench, const std::string& result,
+         double mean_ns)
+{
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").Value("secemb-bench-v1");
+    w.Key("bench").Value(bench);
+    w.Key("results").BeginArray();
+    w.BeginObject();
+    w.Key("name").Value(result);
+    w.Key("params").BeginObject();
+    w.Key("n").Value(int64_t{64});
+    w.EndObject();
+    w.Key("latency_ns").BeginObject();
+    w.Key("count").Value(int64_t{10});
+    w.Key("mean").Value(mean_ns);
+    w.Key("min").Value(mean_ns * 0.9);
+    w.Key("max").Value(mean_ns * 1.1);
+    w.Key("p50").Value(mean_ns);
+    w.Key("p95").Value(mean_ns * 1.05);
+    w.Key("p99").Value(mean_ns * 1.1);
+    w.EndObject();
+    w.Key("counters").BeginObject();
+    w.Key("calls").Value(uint64_t{10});
+    w.EndObject();
+    w.EndObject();
+    w.EndArray();
+    w.EndObject();
+    return w.str();
+}
+
+MachineInfo
+FakeMachine()
+{
+    MachineInfo m;
+    m.os = "TestOS 1.0";
+    m.arch = "test64";
+    m.cpu = "Test CPU";
+    m.isa = "scalar";
+    m.nproc = 1;
+    return m;
+}
+
+/** Build a one-report-per-bench summary from (bench, result, mean) rows. */
+std::string
+Summary(const std::vector<std::tuple<std::string, std::string, double>>&
+            rows)
+{
+    std::vector<BenchSource> sources;
+    for (const auto& [bench, result, mean] : rows) {
+        BenchSource src;
+        src.source = bench + ".json";
+        src.report = BenchDoc(bench, result, mean);
+        sources.push_back(std::move(src));
+    }
+    std::string err;
+    const std::string summary =
+        BuildSummaryJson(FakeMachine(), sources, &err);
+    EXPECT_FALSE(summary.empty()) << err;
+    return summary;
+}
+
+JsonValue
+Parse(const std::string& text)
+{
+    JsonValue doc;
+    std::string err;
+    EXPECT_TRUE(JsonParse(text, &doc, &err)) << err;
+    return doc;
+}
+
+// --- schema validation -----------------------------------------------------
+
+TEST(TrajectoryTest, ValidateBenchDocAcceptsWellFormed)
+{
+    std::string err;
+    EXPECT_TRUE(ValidateBenchDoc(Parse(BenchDoc("b", "r", 100.0)), &err))
+        << err;
+}
+
+TEST(TrajectoryTest, ValidateBenchDocRejectsViolations)
+{
+    std::string err;
+    EXPECT_FALSE(ValidateBenchDoc(Parse("{\"schema\":\"wrong\"}"), &err));
+    EXPECT_NE(err.find("secemb-bench-v1"), std::string::npos) << err;
+
+    // Missing latency field.
+    EXPECT_FALSE(ValidateBenchDoc(
+        Parse("{\"schema\":\"secemb-bench-v1\",\"bench\":\"b\","
+              "\"results\":[{\"name\":\"r\",\"params\":{},"
+              "\"counters\":{},\"latency_ns\":{\"count\":1}}]}"),
+        &err));
+    EXPECT_NE(err.find("latency_ns"), std::string::npos) << err;
+}
+
+TEST(TrajectoryTest, ValidateBenchDocAcceptsNullPercentiles)
+{
+    // Empty-histogram stats serialise NaN as null; the schema admits it.
+    std::string err;
+    EXPECT_TRUE(ValidateBenchDoc(
+        Parse("{\"schema\":\"secemb-bench-v1\",\"bench\":\"b\","
+              "\"results\":[{\"name\":\"r\",\"params\":{},"
+              "\"counters\":{},\"latency_ns\":{\"count\":0,"
+              "\"mean\":null,\"min\":null,\"max\":null,\"p50\":null,"
+              "\"p95\":null,\"p99\":null}}]}"),
+        &err))
+        << err;
+}
+
+TEST(TrajectoryTest, BuildSummaryRoundTripsAndValidates)
+{
+    const std::string summary =
+        Summary({{"micro", "gemm/64", 1000.0}, {"srv", "load/1.0", 5e6}});
+    const JsonValue doc = Parse(summary);
+    std::string err;
+    EXPECT_TRUE(ValidateSummary(doc, &err)) << err;
+
+    const JsonValue* machine = doc.Find("machine");
+    ASSERT_NE(machine, nullptr);
+    EXPECT_EQ(machine->Find("isa")->str_v, "scalar");
+    EXPECT_EQ(machine->Find("nproc")->num_v, 1.0);
+
+    const JsonValue* benches = doc.Find("benches");
+    ASSERT_NE(benches, nullptr);
+    ASSERT_EQ(benches->array_v.size(), 2u);
+    // Reports are embedded verbatim (re-validated, not re-serialised).
+    EXPECT_EQ(benches->array_v[0].Find("report")->Find("bench")->str_v,
+              "micro");
+}
+
+TEST(TrajectoryTest, BuildSummaryRejectsMalformedReport)
+{
+    std::vector<BenchSource> sources;
+    sources.push_back({"bad.json", "{\"schema\":\"wrong\"}"});
+    std::string err;
+    EXPECT_TRUE(BuildSummaryJson(FakeMachine(), sources, &err).empty());
+    EXPECT_NE(err.find("bad.json"), std::string::npos) << err;
+}
+
+TEST(TrajectoryTest, CollectMachineInfoPopulatesHostFields)
+{
+    const MachineInfo m = CollectMachineInfo();
+    EXPECT_FALSE(m.isa.empty());
+    EXPECT_GT(m.nproc, 0);
+#if defined(__linux__)
+    EXPECT_FALSE(m.os.empty());
+    EXPECT_FALSE(m.arch.empty());
+#endif
+}
+
+// --- regression gate -------------------------------------------------------
+
+TEST(TrajectoryTest, GateCatchesSlowdown)
+{
+    const JsonValue baseline = Parse(Summary(
+        {{"micro", "gemm/64", 1000.0}, {"srv", "load/1.0", 5e6}}));
+    const JsonValue current = Parse(Summary(
+        {{"micro", "gemm/64", 2000.0}, {"srv", "load/1.0", 5e6}}));
+    CompareReport report;
+    std::string err;
+    ASSERT_TRUE(
+        CompareSummaries(baseline, current, 1.15, &report, &err))
+        << err;
+    EXPECT_FALSE(report.ok);
+    ASSERT_EQ(report.rows.size(), 2u);
+    EXPECT_EQ(report.rows[0].key, "micro/gemm/64");
+    EXPECT_TRUE(report.rows[0].regression);
+    EXPECT_DOUBLE_EQ(report.rows[0].ratio, 2.0);
+    EXPECT_FALSE(report.rows[1].regression);
+    EXPECT_NE(report.ToText().find("RESULT: FAIL"), std::string::npos);
+    EXPECT_NE(report.ToText().find("REGRESSION"), std::string::npos);
+}
+
+TEST(TrajectoryTest, GateToleratesNoiseAndImprovement)
+{
+    const JsonValue baseline =
+        Parse(Summary({{"micro", "gemm/64", 1000.0}}));
+    // 10% slower is inside the 15% gate; faster is always fine.
+    for (const double mean : {1100.0, 400.0}) {
+        const JsonValue current =
+            Parse(Summary({{"micro", "gemm/64", mean}}));
+        CompareReport report;
+        std::string err;
+        ASSERT_TRUE(
+            CompareSummaries(baseline, current, 1.15, &report, &err))
+            << err;
+        EXPECT_TRUE(report.ok) << report.ToText();
+    }
+}
+
+TEST(TrajectoryTest, AddedAndRemovedBenchesNeverFailTheGate)
+{
+    const JsonValue baseline = Parse(Summary(
+        {{"micro", "gemm/64", 1000.0}, {"old", "gone", 50.0}}));
+    const JsonValue current = Parse(Summary(
+        {{"micro", "gemm/64", 1000.0}, {"shiny", "added", 9e9}}));
+    CompareReport report;
+    std::string err;
+    ASSERT_TRUE(
+        CompareSummaries(baseline, current, 1.15, &report, &err))
+        << err;
+    EXPECT_TRUE(report.ok);
+    ASSERT_EQ(report.only_in_baseline.size(), 1u);
+    EXPECT_EQ(report.only_in_baseline[0], "old/gone");
+    ASSERT_EQ(report.only_in_current.size(), 1u);
+    EXPECT_EQ(report.only_in_current[0], "shiny/added");
+}
+
+TEST(TrajectoryTest, ZeroBaselineMeanIsInformationalOnly)
+{
+    const JsonValue baseline =
+        Parse(Summary({{"micro", "gemm/64", 0.0}}));
+    const JsonValue current =
+        Parse(Summary({{"micro", "gemm/64", 1e9}}));
+    CompareReport report;
+    std::string err;
+    ASSERT_TRUE(
+        CompareSummaries(baseline, current, 1.15, &report, &err))
+        << err;
+    EXPECT_TRUE(report.ok);
+    ASSERT_EQ(report.rows.size(), 1u);
+    EXPECT_FALSE(report.rows[0].regression);
+}
+
+TEST(TrajectoryTest, CompareRejectsInvalidSummaries)
+{
+    const JsonValue good = Parse(Summary({{"micro", "gemm/64", 1.0}}));
+    const JsonValue bad = Parse("{\"schema\":\"wrong\"}");
+    CompareReport report;
+    std::string err;
+    EXPECT_FALSE(CompareSummaries(bad, good, 1.15, &report, &err));
+    EXPECT_NE(err.find("baseline"), std::string::npos) << err;
+    EXPECT_FALSE(CompareSummaries(good, bad, 1.15, &report, &err));
+    EXPECT_NE(err.find("current"), std::string::npos) << err;
+}
+
+// --- end-to-end: the driver's compare mode ---------------------------------
+
+#ifdef SECEMB_BENCH_ALL_BIN
+
+std::string
+WriteTemp(const std::string& name, const std::string& content)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / name).string();
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    EXPECT_TRUE(bool(out));
+    return path;
+}
+
+int
+RunCompare(const std::string& baseline, const std::string& current,
+           const char* gate)
+{
+    const std::string cmd = std::string("\"") + SECEMB_BENCH_ALL_BIN +
+                            "\" --compare \"" + current +
+                            "\" --baseline \"" + baseline + "\" --gate " +
+                            gate + " > /dev/null";
+    const int rc = std::system(cmd.c_str());
+    return rc;
+}
+
+TEST(TrajectoryDriverTest, CompareModeGatesSlowedKernel)
+{
+    // A synthetically 2x-slowed gemm kernel must trip the driver.
+    const std::string baseline = WriteTemp(
+        "secemb_traj_base.json",
+        Summary({{"micro", "gemm/64", 1000.0}, {"srv", "load", 5e6}}));
+    const std::string slowed = WriteTemp(
+        "secemb_traj_slow.json",
+        Summary({{"micro", "gemm/64", 2000.0}, {"srv", "load", 5e6}}));
+    const std::string same = WriteTemp(
+        "secemb_traj_same.json",
+        Summary({{"micro", "gemm/64", 1000.0}, {"srv", "load", 5e6}}));
+
+    EXPECT_NE(RunCompare(baseline, slowed, "1.15"), 0);
+    EXPECT_EQ(RunCompare(baseline, same, "1.15"), 0);
+    // A generous gate lets the same slowdown through.
+    EXPECT_EQ(RunCompare(baseline, slowed, "2.5"), 0);
+
+    for (const std::string& p : {baseline, slowed, same}) {
+        std::remove(p.c_str());
+    }
+}
+
+TEST(TrajectoryDriverTest, CompareModeFailsOnMalformedInput)
+{
+    const std::string baseline = WriteTemp(
+        "secemb_traj_base2.json", Summary({{"micro", "gemm/64", 1.0}}));
+    const std::string garbage =
+        WriteTemp("secemb_traj_garbage.json", "not json at all");
+    EXPECT_NE(RunCompare(baseline, garbage, "1.15"), 0);
+    std::remove(baseline.c_str());
+    std::remove(garbage.c_str());
+}
+
+#endif  // SECEMB_BENCH_ALL_BIN
+
+}  // namespace
+}  // namespace secemb::bench
