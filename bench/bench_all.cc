@@ -24,6 +24,7 @@
  *   micro_primitives gemm-kernel   packed-GEMM kernel comparison
  *   micro_primitives               oblivious-primitive micro set
  *   srv01_serving                  serving latency/shed [fewer requests]
+ *   oram01_proxy                   ORAM proxy vs serial controller [smaller]
  *   ver01_certify_cost             certification harness cost [smaller]
  *   perf01_xcheck                  cache model vs hardware counters
  */
@@ -63,6 +64,8 @@ Tier()
         {"micro_primitives", "", "BENCH_micro_primitives.json", "", ""},
         {"srv01_serving", "", "BENCH_srv01_serving.json", "",
          "--requests 120 --producers 2"},
+        {"oram01_proxy", "", "BENCH_oram01_proxy.json", "",
+         "--rows 512 --dim 8 --batch 32 --batches 6"},
         {"ver01_certify_cost", "", "BENCH_ver01_certify_cost.json", "",
          "--rows 64 --dim 8 --batch 4 --sets 2"},
         {"perf01_xcheck", "", "BENCH_perf01_xcheck.json", "", "--reps 3"},

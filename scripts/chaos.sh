@@ -4,9 +4,12 @@
 #
 # Builds the repo and runs the robustness-labelled tests (serving
 # lifecycle, the seeded fault-injection matrix, thread-pool fault
-# resilience, obliviousness of the degraded serving path), then rebuilds
-# and re-runs them under sanitizers: ASan (leaks, use-after-free in the
-# failure paths), TSan (queue/batcher/pool races), and UBSan.
+# resilience, obliviousness of the degraded serving path, the async ORAM
+# proxy), then rebuilds and re-runs them under sanitizers: ASan (leaks,
+# use-after-free in the failure paths), TSan (queue/batcher/pool races),
+# and UBSan. The TSan pass additionally runs the concurrency label —
+# the ORAM proxy conductor/pool pipeline and the packed-weight cache
+# stress tests are only meaningfully raced there.
 #
 # Every fault decision is a pure function of (plan seed, site, hit
 # ordinal), so a failing chaos case replays exactly from its seed — there
@@ -53,10 +56,21 @@ for SAN in ${SANITIZERS}; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSECEMB_SANITIZE="${SAN}"
     cmake --build "${SAN_BUILD_DIR}" -j"$(nproc)" \
         --target serving_test chaos_test serving_verify_test \
-        parallel_pool_test
+        parallel_pool_test oram_proxy_test proxy_verify_test \
+        kernel_cache_stress_test
     echo "-- ${SAN}: ctest -L robustness --"
     ctest --test-dir "${SAN_BUILD_DIR}" -L robustness \
         --output-on-failure --timeout 600
+    if [[ "${SAN}" == "thread" ]]; then
+        # The full concurrency label needs a few more binaries than the
+        # robustness set.
+        cmake --build "${SAN_BUILD_DIR}" -j"$(nproc)" \
+            --target telemetry_test tensor_test trace_stress_test \
+            perfmon_test flight_recorder_test
+        echo "-- ${SAN}: ctest -L concurrency --"
+        ctest --test-dir "${SAN_BUILD_DIR}" -L concurrency \
+            --output-on-failure --timeout 600
+    fi
 done
 
 echo "CHAOS GATE PASSED"

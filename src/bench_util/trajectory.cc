@@ -1,8 +1,10 @@
 #include "bench_util/trajectory.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <thread>
 
@@ -272,9 +274,14 @@ CompareSummaries(const JsonValue& baseline, const JsonValue& current,
         row.baseline_mean_ns = base_mean;
         row.current_mean_ns = it->second;
         // A zero-mean baseline row (degenerate timer resolution) cannot
-        // express a meaningful ratio; treat it as informational only.
-        row.ratio = base_mean > 0.0 ? it->second / base_mean : 0.0;
-        row.regression = base_mean > 0.0 && row.ratio > gate;
+        // express a meaningful ratio. The old 0.0 placeholder rendered as
+        // a 100% speedup; NaN keeps the "no data" meaning through both
+        // the table ("n/a") and JSON (null), and the row is excluded from
+        // gating explicitly rather than by ratio comparison accident.
+        row.excluded = !(base_mean > 0.0);
+        row.ratio = row.excluded ? std::numeric_limits<double>::quiet_NaN()
+                                 : it->second / base_mean;
+        row.regression = !row.excluded && row.ratio > gate;
         if (row.regression) out->ok = false;
         out->rows.push_back(std::move(row));
     }
@@ -296,10 +303,17 @@ CompareReport::ToText() const
                   "verdict");
     out += line;
     for (const CompareRow& r : rows) {
-        std::snprintf(line, sizeof(line),
-                      "%-48s %14.1f %14.1f %8.3f  %s\n", r.key.c_str(),
-                      r.baseline_mean_ns, r.current_mean_ns, r.ratio,
-                      r.regression ? "REGRESSION" : "ok");
+        if (r.excluded) {
+            std::snprintf(line, sizeof(line),
+                          "%-48s %14.1f %14.1f %8s  %s\n", r.key.c_str(),
+                          r.baseline_mean_ns, r.current_mean_ns, "n/a",
+                          "excluded");
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "%-48s %14.1f %14.1f %8.3f  %s\n", r.key.c_str(),
+                          r.baseline_mean_ns, r.current_mean_ns, r.ratio,
+                          r.regression ? "REGRESSION" : "ok");
+        }
         out += line;
     }
     for (const std::string& k : only_in_baseline) {
@@ -312,6 +326,36 @@ CompareReport::ToText() const
     out += line;
     out += ok ? "RESULT: PASS\n" : "RESULT: FAIL\n";
     return out;
+}
+
+std::string
+CompareReport::ToJson() const
+{
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").Value("secemb-bench-compare-v1");
+    w.Key("gate").Value(gate);
+    w.Key("ok").Value(ok);
+    w.Key("rows").BeginArray();
+    for (const CompareRow& r : rows) {
+        w.BeginObject();
+        w.Key("key").Value(r.key);
+        w.Key("baseline_mean_ns").Value(r.baseline_mean_ns);
+        w.Key("current_mean_ns").Value(r.current_mean_ns);
+        w.Key("ratio").Value(r.ratio);  // NaN -> null for excluded rows
+        w.Key("regression").Value(r.regression);
+        w.Key("excluded").Value(r.excluded);
+        w.EndObject();
+    }
+    w.EndArray();
+    w.Key("only_in_baseline").BeginArray();
+    for (const std::string& k : only_in_baseline) w.Value(k);
+    w.EndArray();
+    w.Key("only_in_current").BeginArray();
+    for (const std::string& k : only_in_current) w.Value(k);
+    w.EndArray();
+    w.EndObject();
+    return w.str();
 }
 
 }  // namespace secemb::bench

@@ -85,8 +85,13 @@ struct CompareRow
     std::string key;
     double baseline_mean_ns = 0.0;
     double current_mean_ns = 0.0;
-    double ratio = 0.0;  ///< current / baseline
+    /// current / baseline; NaN when the baseline mean is zero (degenerate
+    /// timer resolution), matching the NaN→null stats convention.
+    double ratio = 0.0;
     bool regression = false;
+    /// True when the row cannot express a meaningful ratio (zero-mean
+    /// baseline). Excluded rows never regress and render as "excluded".
+    bool excluded = false;
 };
 
 struct CompareReport
@@ -99,6 +104,13 @@ struct CompareReport
 
     /** Human-readable table for the driver's stdout. */
     std::string ToText() const;
+
+    /**
+     * Machine-readable report ("secemb-bench-compare-v1"). NaN ratios
+     * serialize as null, the same convention LatencyStats uses for
+     * empty-sample fields.
+     */
+    std::string ToJson() const;
 };
 
 /**

@@ -19,6 +19,7 @@ GenKindName(GenKind kind)
       case GenKind::kDheVaried: return "DHE Varied";
       case GenKind::kHybridUniform: return "Hybrid Uniform";
       case GenKind::kHybridVaried: return "Hybrid Varied";
+      case GenKind::kProxyOram: return "Path ORAM (proxy)";
     }
     return "?";
 }
@@ -74,6 +75,12 @@ MakeGenerator(GenKind kind, int64_t table_size, int64_t dim, Rng& rng,
       case GenKind::kCircuitOram:
         return std::make_unique<OramTable>(
             table(), oram::OramKind::kCircuit, rng, opt.oram_params);
+      case GenKind::kProxyOram: {
+        oram::ProxyConfig pc;
+        pc.nthreads = opt.nthreads;
+        return std::make_unique<ProxiedOramTable>(
+            table(), oram::OramKind::kPath, rng, opt.oram_params, pc);
+      }
       case GenKind::kDheUniform:
         return std::make_unique<DheGenerator>(
             MakeDhe(false, table_size, dim, rng, opt), table_size);

@@ -28,6 +28,7 @@ enum class GenKind
     kDheVaried,
     kHybridUniform,
     kHybridVaried,
+    kProxyOram,     ///< Path ORAM behind the async coalescing proxy
 };
 
 /** Paper-style display name ("Index Lookup (non-secure)", ...). */

@@ -169,4 +169,45 @@ OramTable::Generate(std::span<const int64_t> indices, Tensor& out)
     }
 }
 
+// ---------------------------------------------------------------------------
+// ProxiedOramTable
+// ---------------------------------------------------------------------------
+
+ProxiedOramTable::ProxiedOramTable(const Tensor& table, oram::OramKind kind,
+                                   Rng& rng,
+                                   const oram::OramParams* params,
+                                   const oram::ProxyConfig& config)
+    : rows_(table.size(0)), dim_(table.size(1))
+{
+    auto tree = oram::MakeOram(kind, rows_, dim_, rng, params);
+    static_assert(sizeof(float) == sizeof(uint32_t));
+    std::vector<uint32_t> words(static_cast<size_t>(table.numel()));
+    std::memcpy(words.data(), table.data(),
+                words.size() * sizeof(uint32_t));
+    tree->BulkLoad(words);
+    proxy_ = std::make_unique<oram::OramProxy>(std::move(tree), config);
+}
+
+void
+ProxiedOramTable::Generate(std::span<const int64_t> indices, Tensor& out)
+{
+    const int64_t n = static_cast<int64_t>(indices.size());
+    assert(out.size(0) == n && out.size(1) == dim_);
+    // Submit the whole batch, then collect: in-window duplicates coalesce
+    // and the conductor overlaps eviction with the following accesses.
+    std::vector<std::future<std::vector<uint32_t>>> futures;
+    futures.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        futures.push_back(
+            proxy_->SubmitRead(indices[static_cast<size_t>(i)]));
+    }
+    proxy_->Flush();
+    for (int64_t i = 0; i < n; ++i) {
+        const std::vector<uint32_t> block =
+            futures[static_cast<size_t>(i)].get();
+        std::memcpy(out.data() + i * dim_, block.data(),
+                    block.size() * sizeof(float));
+    }
+}
+
 }  // namespace secemb::core

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "core/embedding_generator.h"
+#include "oram/proxy.h"
 #include "oram/tree_oram.h"
 
 namespace secemb::core {
@@ -122,6 +123,60 @@ class OramTable : public EmbeddingGenerator
     int64_t rows_;
     int64_t dim_;
     std::unique_ptr<oram::TreeOram> oram_;
+};
+
+/**
+ * Embedding table behind the asynchronous ORAM proxy (src/oram/proxy):
+ * batch entries are submitted to the proxy's request queue, duplicates
+ * coalesce into one physical access per window, and eviction work overlaps
+ * the next access on pool threads — the concurrent answer to the
+ * sequential-controller weakness OramTable documents.
+ */
+class ProxiedOramTable : public EmbeddingGenerator
+{
+  public:
+    /**
+     * @param table (rows x dim) trained table, bulk-loaded into the tree
+     * @param kind Path or Circuit (Circuit serves via the serial fallback)
+     * @param rng leaf randomness
+     * @param params optional ORAM overrides; defaults follow the paper
+     * @param config proxy tunables (window, threads, queue, flight sink)
+     */
+    ProxiedOramTable(const Tensor& table, oram::OramKind kind, Rng& rng,
+                     const oram::OramParams* params = nullptr,
+                     const oram::ProxyConfig& config = {});
+
+    void Generate(std::span<const int64_t> indices, Tensor& out) override;
+    int64_t dim() const override { return dim_; }
+    int64_t num_rows() const override { return rows_; }
+    int64_t MemoryFootprintBytes() const override
+    {
+        return proxy_->oram().MemoryFootprintBytes();
+    }
+    std::string_view name() const override
+    {
+        return proxy_->oram().kind() == oram::OramKind::kPath
+                   ? "Path ORAM (proxy)"
+                   : "Circuit ORAM (proxy)";
+    }
+    bool IsOblivious() const override { return true; }
+    void set_nthreads(int nthreads) override
+    {
+        proxy_->set_nthreads(nthreads);
+    }
+
+    /** Route the proxy's lifecycle hops into a serving flight recorder. */
+    void set_flight(serving::FlightRecorder* flight)
+    {
+        proxy_->set_flight(flight);
+    }
+
+    oram::OramProxy& proxy() { return *proxy_; }
+
+  private:
+    int64_t rows_;
+    int64_t dim_;
+    std::unique_ptr<oram::OramProxy> proxy_;
 };
 
 }  // namespace secemb::core

@@ -32,6 +32,7 @@
 namespace secemb::oram {
 
 class TreeOram;
+class OramProxy;
 
 /**
  * Position map: block id -> tree leaf.
@@ -73,6 +74,10 @@ class PositionMap
     int Depth() const;
 
   private:
+    /** The async proxy (src/oram/proxy) re-implements the flat-map scan
+     *  in parallel chunks with the identical recorded trace. */
+    friend class OramProxy;
+
     int64_t num_ids_;
     int fanout_;
     bool inline_select_ = true;
@@ -139,6 +144,11 @@ class TreeOram
     OramKind kind() const { return kind_; }
 
   private:
+    /** The async proxy decomposes Path ORAM accesses into the same
+     *  phases with data movement on pool threads; it needs the private
+     *  state and phase helpers but must not widen the public surface. */
+    friend class OramProxy;
+
     enum class Op { kRead, kWrite, kRmw };
 
     OramKind kind_;

@@ -96,6 +96,10 @@ FlightHopName(FlightHop hop)
         case FlightHop::kRetry: return "retry";
         case FlightHop::kDeadlineExceeded: return "deadline_exceeded";
         case FlightHop::kRespond: return "respond";
+        case FlightHop::kProxyEnqueue: return "proxy_enqueue";
+        case FlightHop::kProxyCoalesce: return "proxy_coalesce";
+        case FlightHop::kProxyAccess: return "proxy_access";
+        case FlightHop::kProxyEvict: return "proxy_evict";
     }
     return "unknown";
 }

@@ -51,6 +51,11 @@ enum class FlightHop : uint8_t
     kRetry,              ///< generation needed transient-fault retries
     kDeadlineExceeded,   ///< dropped at serve time: deadline passed
     kRespond,            ///< response published (ok or error)
+    // ORAM proxy hops (src/oram/proxy): detail carries the window slot.
+    kProxyEnqueue,       ///< logical read accepted into the proxy queue
+    kProxyCoalesce,      ///< joined an in-window duplicate's access
+    kProxyAccess,        ///< one physical (real or dummy) ORAM access
+    kProxyEvict,         ///< deferred eviction work drained
 };
 
 /** Stable name for JSON / debugging ("enqueue", "shed", ...). */

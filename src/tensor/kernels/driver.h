@@ -40,6 +40,19 @@ inline constexpr int64_t kBlockKc = 384;
 inline constexpr int64_t kBlockMc = 240;
 inline constexpr int64_t kBlockNc = 4096;
 
+/**
+ * Per-thread A-panel scratch, shared by every tier (a thread runs one
+ * GEMM at a time). Returns a buffer resized to `need_floats`. The buffer
+ * persists across calls so steady-state serving reuses one allocation,
+ * but it shrinks back when the retained capacity dwarfs the current
+ * request — long-lived pool workers must not pin the largest A panel
+ * they ever packed (defined in kernels.cc).
+ */
+AlignedFloatVector& AcquireAPackScratch(std::size_t need_floats);
+
+/** The calling thread's retained scratch capacity in floats (test hook). */
+std::size_t APackScratchCapacityForTest();
+
 /** Pack A into kMr-row panels: panel t stores, for each depth p, the
  * kMr row values contiguously (zero-padded past m). `trans` reads A as
  * a k x m buffer (the GemmAT case: C = A^T * B). */
@@ -162,11 +175,12 @@ struct BlockedDriver
         const int64_t k_blocks =
             std::max<int64_t>(1, (k + kBlockKc - 1) / kBlockKc);
 
-        // A panels are transient per call; the buffer is thread_local so
-        // steady-state serving reuses one allocation. Packed on the
-        // caller before the region — workers only read it.
-        static thread_local AlignedFloatVector a_pack;
-        a_pack.resize(static_cast<size_t>(tiles_m * MR * k));
+        // A panels are transient per call; the scratch is thread-local
+        // (with a shrink policy) so steady-state serving reuses one
+        // allocation. Packed on the caller before the region — workers
+        // only read it.
+        AlignedFloatVector& a_pack =
+            AcquireAPackScratch(static_cast<size_t>(tiles_m * MR * k));
         PackAPanels<MR>(args.a, m, k, args.a_transposed, a_pack.data());
         const float* pa_base = a_pack.data();
         const float* pb_base = b.data.data();

@@ -340,4 +340,37 @@ PackedWeightCache::entries() const
     return im.entries.size();
 }
 
+namespace detail {
+
+namespace {
+thread_local AlignedFloatVector g_a_pack_scratch;
+}  // namespace
+
+AlignedFloatVector&
+AcquireAPackScratch(std::size_t need_floats)
+{
+    AlignedFloatVector& buf = g_a_pack_scratch;
+    // Release the backing storage when the retained capacity dwarfs the
+    // request (> 4x) and is big enough to matter (> 256 KiB): without
+    // this, every pool worker permanently pins the largest A panel it
+    // ever packed. Buffers below the floor stay cached — reallocating
+    // tiny panels every call would cost more than it frees.
+    constexpr std::size_t kShrinkFactor = 4;
+    constexpr std::size_t kShrinkFloorBytes = 256u * 1024u;
+    if (buf.capacity() * sizeof(float) > kShrinkFloorBytes &&
+        buf.capacity() / kShrinkFactor > need_floats) {
+        AlignedFloatVector().swap(buf);
+    }
+    buf.resize(need_floats);
+    return buf;
+}
+
+std::size_t
+APackScratchCapacityForTest()
+{
+    return g_a_pack_scratch.capacity();
+}
+
+}  // namespace detail
+
 }  // namespace secemb::kernels

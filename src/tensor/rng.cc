@@ -1,6 +1,8 @@
 #include "tensor/rng.h"
 
+#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace secemb {
 
@@ -54,6 +56,12 @@ Rng::Next()
 uint64_t
 Rng::NextBounded(uint64_t bound)
 {
+    // bound == 0 would divide by zero in `-bound % bound` (UB); there is
+    // no uniform draw from an empty range, so refuse it loudly.
+    assert(bound > 0);
+    if (bound == 0) {
+        throw std::invalid_argument("Rng::NextBounded: bound must be > 0");
+    }
     // Rejection sampling to avoid modulo bias.
     const uint64_t threshold = -bound % bound;
     for (;;) {

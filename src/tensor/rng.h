@@ -30,7 +30,9 @@ class Rng
     /** Next raw 64-bit value. */
     uint64_t Next();
 
-    /** Uniform integer in [0, bound) with rejection sampling; bound > 0. */
+    /** Uniform integer in [0, bound) with rejection sampling. bound must
+     * be > 0: 0 asserts in debug builds and throws std::invalid_argument
+     * otherwise (an empty range has no uniform draw). */
     uint64_t NextBounded(uint64_t bound);
 
     /** Uniform double in [0, 1). */

@@ -369,6 +369,7 @@ SubjectName(Subject s)
       case Subject::kTreeOram: return "tree_oram";
       case Subject::kSqrtOram: return "sqrt_oram";
       case Subject::kIndexLookup: return "index_lookup";
+      case Subject::kProxyOram: return "proxy_oram";
     }
     return "unknown";
 }
@@ -379,7 +380,7 @@ ParseSubject(const std::string& name, Subject* out)
     for (Subject s :
          {Subject::kLinearScan, Subject::kVectorScan, Subject::kDhe,
           Subject::kHybrid, Subject::kTreeOram, Subject::kSqrtOram,
-          Subject::kIndexLookup}) {
+          Subject::kIndexLookup, Subject::kProxyOram}) {
         if (name == SubjectName(s)) {
             *out = s;
             return true;
@@ -392,7 +393,8 @@ std::vector<Subject>
 AllSecureSubjects()
 {
     return {Subject::kLinearScan, Subject::kVectorScan, Subject::kDhe,
-            Subject::kHybrid,     Subject::kTreeOram,   Subject::kSqrtOram};
+            Subject::kHybrid,     Subject::kTreeOram,   Subject::kSqrtOram,
+            Subject::kProxyOram};
 }
 
 bool
@@ -401,6 +403,7 @@ SubjectIsDeterministic(Subject s)
     switch (s) {
       case Subject::kTreeOram:
       case Subject::kSqrtOram:
+      case Subject::kProxyOram:
         return false;
       default:
         return true;
@@ -485,6 +488,20 @@ MakeSubjectFactory(const VerifyConfig& config)
             gen->set_recorder(rec);
             return std::unique_ptr<core::EmbeddingGenerator>(
                 std::move(gen));
+        };
+      case Subject::kProxyOram:
+        return [c](uint64_t seed, sidechannel::TraceRecorder* rec) {
+            Rng rng(Mix(seed, 0x9c0aULL));
+            oram::OramParams params =
+                oram::OramParams::Defaults(oram::OramKind::kPath);
+            params.recorder = rec;
+            oram::ProxyConfig pc;
+            pc.batch_window = 4;
+            pc.nthreads = c.nthreads;
+            return std::unique_ptr<core::EmbeddingGenerator>(
+                std::make_unique<core::ProxiedOramTable>(
+                    SubjectTable(c, seed), oram::OramKind::kPath, rng,
+                    &params, pc));
         };
     }
     throw std::invalid_argument("unknown verify subject");
@@ -622,6 +639,59 @@ StatisticalResult
 RunStatistical(const VerifyConfig& config)
 {
     return RunStatisticalWith(config, MakeSubjectFactory(config));
+}
+
+InterleavingResult
+RunInterleavingFuzz(const VerifyConfig& config, int interleavings)
+{
+    InterleavingResult result;
+    result.config = config;
+    const uint64_t cseed = ConstructionSeed(config);
+    const GeneratorFactory factory = MakeSubjectFactory(config);
+    const int sets = std::max(2, config.secret_sets);
+    const int perms = std::max(1, interleavings);
+
+    CanonicalTrace reference;
+    for (int set = 0; set < sets; ++set) {
+        const std::vector<int64_t> base = MakeSecretSet(config, set);
+        for (int k = 0; k < perms; ++k) {
+            // Permutation k is shared across secret sets so every trace
+            // pair differs in exactly one variable (ids or order).
+            std::vector<int64_t> order = base;
+            if (k > 0) {
+                Rng perm(Mix(config.seed,
+                             0x17e2ULL + static_cast<uint64_t>(k)));
+                for (size_t i = order.size(); i > 1; --i) {
+                    const size_t j =
+                        static_cast<size_t>(perm.NextBounded(i));
+                    std::swap(order[i - 1], order[j]);
+                }
+            }
+            const CanonicalTrace trace =
+                RunOne(config, factory, cseed, order);
+            if (result.runs == 0) {
+                reference = trace;
+                result.trace_len = trace.accesses.size();
+            } else {
+                const TraceDivergence d =
+                    CompareCanonicalShape(reference, trace);
+                if (d.diverged) {
+                    std::ostringstream os;
+                    os << config.Name() << ": secret set " << set
+                       << " interleaving " << k
+                       << " diverges in shape from the reference run: "
+                       << d.detail;
+                    result.detail = os.str();
+                    result.runs++;
+                    return result;
+                }
+            }
+            result.runs++;
+        }
+        result.secret_sets++;
+    }
+    result.passed = true;
+    return result;
 }
 
 std::vector<VerifyConfig>

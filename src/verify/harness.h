@@ -52,6 +52,7 @@ enum class Subject
     kTreeOram,     ///< core::OramTable — Path (variant 0) / Circuit (1)
     kSqrtOram,     ///< oram::SqrtOram behind a generator adapter
     kIndexLookup,  ///< non-secure baseline — negative control only
+    kProxyOram,    ///< core::ProxiedOramTable — async coalescing proxy
 };
 
 /** CLI name: "scan", "vecscan", "dhe", "hybrid", "tree_oram", ... */
@@ -60,7 +61,7 @@ const char* SubjectName(Subject s);
 /** Parse a SubjectName; returns false on unknown name. */
 bool ParseSubject(const std::string& name, Subject* out);
 
-/** The six certified kinds (excludes the non-secure control). */
+/** The seven certified kinds (excludes the non-secure control). */
 std::vector<Subject> AllSecureSubjects();
 
 /** True if the subject's trace must be bit-identical across secrets
@@ -137,6 +138,30 @@ struct StatisticalResult
 
 /** Run the fixed-vs-random statistical check on one configuration. */
 StatisticalResult RunStatistical(const VerifyConfig& config);
+
+/** Result of the interleaving-fuzz engine on one configuration. */
+struct InterleavingResult
+{
+    VerifyConfig config;
+    bool passed = false;
+    int runs = 0;          ///< traces compared (sets x interleavings)
+    int secret_sets = 0;   ///< secret sets covered
+    size_t trace_len = 0;  ///< canonical accesses per run
+    std::string detail;    ///< first divergent access context on failure
+};
+
+/**
+ * Interleaving fuzz for queue-fed subjects (the ORAM proxy): every secret
+ * set is submitted under `interleavings` seeded arrival-order
+ * permutations, each against a freshly built generator with the identical
+ * construction seed, and every canonical trace must be shape-identical to
+ * the first. This is the concurrency side of the obliviousness argument:
+ * the physical schedule may depend on arrival order (a public input) only
+ * through the request count, never through the (secret) ids or their
+ * duplicate structure.
+ */
+InterleavingResult RunInterleavingFuzz(const VerifyConfig& config,
+                                       int interleavings);
 
 /** Statistical check over a custom factory (negative controls). */
 StatisticalResult RunStatisticalWith(const VerifyConfig& config,

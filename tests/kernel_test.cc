@@ -19,6 +19,7 @@
 
 #include "tensor/aligned.h"
 #include "tensor/gemm.h"
+#include "tensor/kernels/driver.h"
 #include "tensor/kernels/kernels.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
@@ -415,6 +416,53 @@ TEST(PackedWeightCacheTest, EntriesSurviveClearWhileHeld)
     EXPECT_EQ(held->k, 8);
     EXPECT_EQ(held->n, 8);
     EXPECT_TRUE(IsAligned64(held->data.data()));
+}
+
+// ---------------------------------------------------------------------------
+// A-panel scratch shrink policy
+// ---------------------------------------------------------------------------
+
+TEST(APackScratchTest, ScratchShrinksAfterLargePack)
+{
+    auto& cache = kernels::PackedWeightCache::Instance();
+    cache.Clear();
+    Rng rng(121);
+
+    // nthreads = 1 keeps both packing and the region on this thread, so
+    // the thread-local scratch capacity is observable here.
+    const auto run = [&](int64_t m, int64_t k) {
+        const Tensor a = Tensor::Randn({m, k}, rng);
+        const Tensor b = Tensor::Randn({k, 8}, rng);
+        Tensor c({m, 8});
+        const auto packed = cache.Get(b.data(), k, 8, false);
+        kernels::GemmArgs args;
+        args.a = a.data();
+        args.b = packed.get();
+        args.c = c.data();
+        args.m = m;
+        args.nthreads = 1;
+        kernels::GemmPacked(args);
+    };
+
+    run(256, 512);  // A panels need >= 512 KiB of scratch
+    const size_t big = kernels::detail::APackScratchCapacityForTest();
+    EXPECT_GE(big * sizeof(float), size_t{512} * 1024);
+
+    // A tiny follow-up call: retained capacity dwarfs the need, so the
+    // scratch must release its storage instead of pinning it forever.
+    run(8, 16);
+    const size_t small = kernels::detail::APackScratchCapacityForTest();
+    EXPECT_LT(small, big / 4);
+    EXPECT_LE(small * sizeof(float), size_t{256} * 1024);
+
+    // The reallocated scratch still produces correct results.
+    const Tensor x = Tensor::Randn({8, 16}, rng);
+    const Tensor w = Tensor::Randn({16, 8}, rng);
+    Tensor want({8, 8}), got({8, 8});
+    GemmNaive(x, w, want);
+    AffineForward(x, w, Tensor(), got);
+    EXPECT_LE(MaxRelError(got, want), kRelTol);
+    cache.Clear();
 }
 
 // ---------------------------------------------------------------------------

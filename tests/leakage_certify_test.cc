@@ -2,7 +2,7 @@
  * @file
  * The standing certification gate (`ctest -L leakage`): runs the
  * differential trace engine across the full fuzz corpus of every secure
- * generator — six kinds, at least eight fuzzed configurations each — and
+ * generator — seven kinds, at least eight fuzzed configurations each — and
  * the statistical fixed-vs-random check on the randomized ones.
  *
  * A failure here means some generator's memory trace depends on the
@@ -63,10 +63,10 @@ TEST(CertifySweepTest, FullSweepCertifiesEverything)
     const SweepResult sweep = RunSweep(AllSecureSubjects(), kGateSeed + 1,
                                        /*secret_sets=*/3);
     EXPECT_TRUE(sweep.all_passed);
-    // Six subjects x >= 8 configs each.
-    EXPECT_GE(sweep.differential.size(), 48u);
-    // Both randomized subjects got the statistical treatment.
-    EXPECT_GE(sweep.statistical.size(), 16u);
+    // Seven subjects x >= 8 configs each.
+    EXPECT_GE(sweep.differential.size(), 56u);
+    // All three randomized subjects got the statistical treatment.
+    EXPECT_GE(sweep.statistical.size(), 24u);
     for (const DifferentialResult& r : sweep.differential) {
         EXPECT_TRUE(r.passed) << r.detail;
     }

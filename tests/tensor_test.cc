@@ -143,6 +143,20 @@ TEST(RngTest, GaussianMoments)
     EXPECT_NEAR(sum2 / n, 1.0, 0.05);
 }
 
+TEST(RngTest, BoundedZeroIsRejected)
+{
+    Rng rng(1);
+#ifdef NDEBUG
+    // Release builds take the well-defined error path instead of the UB
+    // `-0 % 0` the old code executed.
+    EXPECT_THROW(rng.NextBounded(0), std::invalid_argument);
+#else
+    EXPECT_DEATH(rng.NextBounded(0), "bound > 0");
+#endif
+    // The generator stays usable after a rejected call.
+    EXPECT_LT(rng.NextBounded(5), 5u);
+}
+
 TEST(RngTest, BoundedIsRoughlyUniform)
 {
     Rng rng(4);

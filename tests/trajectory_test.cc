@@ -3,14 +3,16 @@
  * Bench-trajectory harness tests: secemb-bench-v1 / summary schema
  * validation, summary building (verbatim report embedding), the
  * regression gate (catches a 2x slowdown, tolerates within-gate noise,
- * never fails on added/removed benches, NaN and zero-mean rows are
- * informational), and an end-to-end exec of the secemb-bench-all driver
+ * never fails on added/removed benches, zero-mean baseline rows are
+ * excluded with a NaN/null ratio rather than faking a speedup, JSON
+ * report), and an end-to-end exec of the secemb-bench-all driver
  * in --compare mode: it must exit non-zero exactly when a shared result
  * regressed past the gate.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -235,7 +237,7 @@ TEST(TrajectoryTest, AddedAndRemovedBenchesNeverFailTheGate)
     EXPECT_EQ(report.only_in_current[0], "shiny/added");
 }
 
-TEST(TrajectoryTest, ZeroBaselineMeanIsInformationalOnly)
+TEST(TrajectoryTest, ZeroBaselineMeanIsExcludedNotASpeedup)
 {
     const JsonValue baseline =
         Parse(Summary({{"micro", "gemm/64", 0.0}}));
@@ -249,6 +251,49 @@ TEST(TrajectoryTest, ZeroBaselineMeanIsInformationalOnly)
     EXPECT_TRUE(report.ok);
     ASSERT_EQ(report.rows.size(), 1u);
     EXPECT_FALSE(report.rows[0].regression);
+    // A degenerate-timer baseline used to report ratio 0.0 — rendered as
+    // a 100% speedup. It must now be NaN and explicitly excluded.
+    EXPECT_TRUE(report.rows[0].excluded);
+    EXPECT_TRUE(std::isnan(report.rows[0].ratio));
+
+    // Table output: no "0.000" ratio, an explicit "excluded" verdict.
+    const std::string text = report.ToText();
+    EXPECT_NE(text.find("n/a"), std::string::npos) << text;
+    EXPECT_NE(text.find("excluded"), std::string::npos) << text;
+    EXPECT_EQ(text.find("0.000"), std::string::npos) << text;
+
+    // JSON output: NaN serialises as null, never as 0.
+    const JsonValue doc = Parse(report.ToJson());
+    ASSERT_TRUE(doc.IsObject());
+    EXPECT_EQ(doc.Find("schema")->str_v, "secemb-bench-compare-v1");
+    const JsonValue& row = doc.Find("rows")->array_v.at(0);
+    EXPECT_EQ(row.Find("ratio")->kind, JsonValue::Kind::kNull);
+    EXPECT_TRUE(row.Find("excluded")->bool_v);
+    EXPECT_FALSE(row.Find("regression")->bool_v);
+}
+
+TEST(TrajectoryTest, CompareReportJsonRoundTrips)
+{
+    const JsonValue baseline = Parse(Summary(
+        {{"micro", "gemm/64", 1000.0}, {"old", "gone", 50.0}}));
+    const JsonValue current = Parse(Summary(
+        {{"micro", "gemm/64", 2000.0}, {"shiny", "added", 10.0}}));
+    CompareReport report;
+    std::string err;
+    ASSERT_TRUE(
+        CompareSummaries(baseline, current, 1.15, &report, &err))
+        << err;
+    const JsonValue doc = Parse(report.ToJson());
+    EXPECT_FALSE(doc.Find("ok")->bool_v);
+    EXPECT_DOUBLE_EQ(doc.Find("gate")->num_v, 1.15);
+    const JsonValue& row = doc.Find("rows")->array_v.at(0);
+    EXPECT_EQ(row.Find("key")->str_v, "micro/gemm/64");
+    EXPECT_DOUBLE_EQ(row.Find("ratio")->num_v, 2.0);
+    EXPECT_TRUE(row.Find("regression")->bool_v);
+    EXPECT_EQ(doc.Find("only_in_baseline")->array_v.at(0).str_v,
+              "old/gone");
+    EXPECT_EQ(doc.Find("only_in_current")->array_v.at(0).str_v,
+              "shiny/added");
 }
 
 TEST(TrajectoryTest, CompareRejectsInvalidSummaries)
