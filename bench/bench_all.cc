@@ -25,6 +25,7 @@
  *   micro_primitives               oblivious-primitive micro set
  *   srv01_serving                  serving latency/shed [fewer requests]
  *   oram01_proxy                   ORAM proxy vs serial controller [smaller]
+ *   oc01_paged                     out-of-core paged scan / RAW ORAM [smaller]
  *   ver01_certify_cost             certification harness cost [smaller]
  *   perf01_xcheck                  cache model vs hardware counters
  */
@@ -66,6 +67,9 @@ Tier()
          "--requests 120 --producers 2"},
         {"oram01_proxy", "", "BENCH_oram01_proxy.json", "",
          "--rows 512 --dim 8 --batch 32 --batches 6"},
+        {"oc01_paged", "", "BENCH_oc01_paged.json", "",
+         "--rows 20000 --oram-rows 4096 --batch 8 --batches 2 "
+         "--oram-accesses 48"},
         {"ver01_certify_cost", "", "BENCH_ver01_certify_cost.json", "",
          "--rows 64 --dim 8 --batch 4 --sets 2"},
         {"perf01_xcheck", "", "BENCH_perf01_xcheck.json", "", "--reps 3"},

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * oc01: out-of-core oblivious tables at full dataset scale.
+ *
+ * The paper's protections assume the embedding table is resident; this
+ * bench measures what Section VII's workloads cost when it is not. A
+ * Criteo-sized table (10.1M rows x dim 16, ~650 MB of weights) is served
+ * three ways:
+ *
+ *   ram_scan     the in-RAM oblivious linear scan (the paper's baseline)
+ *   paged_scan   the same scan over a file / mmap BackingStore behind a
+ *                bounded page cache — swept over cache sizes to show
+ *                throughput as a function of resident bytes
+ *   raw_oram     the page-optimized RAW ORAM (one bucket = one page,
+ *                read paths with no write-back, amortized eviction)
+ *
+ * Every configuration keeps the page schedule secret-independent, so the
+ * comparison is pure storage cost: RAM bandwidth vs cache-mediated IO vs
+ * O(log n) page fetches per access. Store files are created in --dir and
+ * deleted on exit.
+ *
+ * Usage:
+ *   oc01_paged [--rows N] [--dim D] [--batch B] [--batches K]
+ *              [--page-bytes P] [--oram-rows N2] [--oram-accesses A]
+ *              [--dir PATH] [--json out.json]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/bench_util.h"
+#include "bench_util/json.h"
+#include "core/paged_generators.h"
+#include "core/table_generators.h"
+#include "store/backing_store.h"
+#include "tensor/tensor.h"
+
+using namespace secemb;
+
+namespace {
+
+double
+NowNs()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::vector<std::vector<int64_t>>
+MakeStream(int64_t rows, int batch, int batches, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<int64_t>> stream(
+        static_cast<size_t>(batches));
+    for (auto& b : stream) {
+        b.resize(static_cast<size_t>(batch));
+        for (int64_t& id : b) {
+            id = static_cast<int64_t>(
+                rng.NextBounded(static_cast<uint64_t>(rows)));
+        }
+    }
+    return stream;
+}
+
+struct RunResult
+{
+    std::vector<double> batch_ns;
+    double rows_per_sec = 0.0;
+};
+
+RunResult
+RunStream(core::EmbeddingGenerator& gen,
+          const std::vector<std::vector<int64_t>>& stream, int64_t dim)
+{
+    Tensor out({static_cast<int64_t>(stream.front().size()), dim});
+    RunResult r;
+    double total_s = 0.0;
+    int64_t served = 0;
+    for (const std::vector<int64_t>& batch : stream) {
+        const double t0 = NowNs();
+        gen.Generate(batch, out);
+        r.batch_ns.push_back(NowNs() - t0);
+        total_s += r.batch_ns.back() * 1e-9;
+        served += static_cast<int64_t>(batch.size());
+    }
+    r.rows_per_sec =
+        static_cast<double>(served) / std::max(total_s, 1e-12);
+    return r;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    // Criteo Kaggle: 10,131,227 categorical ids across the 26 features —
+    // the "tables do not fit" scale EXPERIMENTS.md deviation #1 is about.
+    const int64_t rows = args.GetInt("--rows", 10131227);
+    const int64_t dim = args.GetInt("--dim", 16);
+    const int batch = static_cast<int>(args.GetInt("--batch", 8));
+    const int batches = static_cast<int>(args.GetInt("--batches", 2));
+    const int64_t page_bytes = args.GetInt("--page-bytes", 4096);
+    const int64_t oram_rows = args.GetInt("--oram-rows", rows);
+    const int oram_accesses =
+        static_cast<int>(args.GetInt("--oram-accesses", 64));
+    const std::string dir = args.GetString("--dir", ".");
+    const std::string json_path = args.GetString("--json");
+
+    const int64_t row_bytes = dim * static_cast<int64_t>(sizeof(float));
+    const int64_t rows_per_page = page_bytes / row_bytes;
+    const int64_t scan_pages =
+        (rows + rows_per_page - 1) / rows_per_page;
+
+    std::printf("=== oc01: out-of-core tables at dataset scale ===\n");
+    std::printf(
+        "scan table %ld x %ld (%.1f MB, %ld pages of %ld B), "
+        "%d batches of %d; raw_oram %ld rows, %d accesses\n",
+        rows, dim,
+        static_cast<double>(rows * row_bytes) / (1024.0 * 1024.0),
+        scan_pages, page_bytes, batches, batch, oram_rows,
+        oram_accesses);
+
+    Rng table_rng(41);
+    const Tensor table = Tensor::Randn({rows, dim}, table_rng);
+    const auto stream = MakeStream(rows, batch, batches, 59);
+
+    bench::BenchReport report("oc01_paged");
+    bench::TablePrinter printer({"config", "resident MB", "p50 ms",
+                                 "rows/s", "hit rate", "evictions"});
+    std::vector<std::string> store_files;
+
+    auto add = [&](const std::string& name,
+                   core::EmbeddingGenerator& gen, const RunResult& r,
+                   const store::PageCacheStats* cache,
+                   int64_t cache_pages_config)
+        -> bench::BenchReport::Result& {
+        const bench::LatencyStats lat =
+            bench::LatencyStats::FromSamples(r.batch_ns);
+        const double resident_mb =
+            static_cast<double>(gen.MemoryFootprintBytes()) /
+            (1024.0 * 1024.0);
+        double hit_rate = 0.0;
+        if (cache != nullptr && cache->hits + cache->misses > 0) {
+            hit_rate = static_cast<double>(cache->hits) /
+                       static_cast<double>(cache->hits + cache->misses);
+        }
+        printer.AddRow(
+            {name, bench::TablePrinter::Num(resident_mb, 1),
+             bench::TablePrinter::Ms(lat.p50_ns, 2),
+             bench::TablePrinter::Num(r.rows_per_sec, 0),
+             cache != nullptr ? bench::TablePrinter::Num(hit_rate, 3)
+                              : "-",
+             cache != nullptr ? std::to_string(cache->evictions) : "-"});
+
+        auto& res = report.AddResult(name);
+        res.num_params.emplace_back("rows", static_cast<double>(rows));
+        res.num_params.emplace_back("dim", static_cast<double>(dim));
+        res.num_params.emplace_back("batch", static_cast<double>(batch));
+        res.num_params.emplace_back("page_bytes",
+                                    static_cast<double>(page_bytes));
+        res.num_params.emplace_back(
+            "cache_pages", static_cast<double>(cache_pages_config));
+        res.num_params.emplace_back("resident_mb", resident_mb);
+        res.num_params.emplace_back("rows_per_sec", r.rows_per_sec);
+        res.latency = lat;
+        if (cache != nullptr) {
+            res.counters.emplace_back(
+                "store.cache.hits", static_cast<uint64_t>(cache->hits));
+            res.counters.emplace_back(
+                "store.cache.misses",
+                static_cast<uint64_t>(cache->misses));
+            res.counters.emplace_back(
+                "store.cache.evictions",
+                static_cast<uint64_t>(cache->evictions));
+        }
+        return res;
+    };
+
+    {
+        core::LinearScanTable ram(table);
+        add("ram_scan", ram, RunStream(ram, stream, dim), nullptr, 0);
+    }
+
+    // Cache sweep: ~4 MB / 64 MB / 256 MB resident (clamped to the table)
+    // on the file backend, plus one mmap configuration — the schedule is
+    // identical everywhere, only the miss cost moves.
+    struct PagedConfig
+    {
+        store::StoreBackend backend;
+        int64_t cache_pages;
+    };
+    std::vector<PagedConfig> paged_configs;
+    for (const int64_t mb : {4, 64, 256}) {
+        paged_configs.push_back(
+            {store::StoreBackend::kFile, mb * 1024 * 1024 / page_bytes});
+    }
+    paged_configs.push_back(
+        {store::StoreBackend::kMmap, 64 * 1024 * 1024 / page_bytes});
+
+    for (const PagedConfig& pc : paged_configs) {
+        store::StoreConfig sc;
+        sc.backend = pc.backend;
+        sc.page_bytes = page_bytes;
+        sc.cache_pages = pc.cache_pages;
+        const std::string backend = store::StoreBackendName(pc.backend);
+        sc.path = dir + "/oc01_scan_" + backend + "_" +
+                  std::to_string(pc.cache_pages) + ".store";
+        store_files.push_back(sc.path);
+
+        core::PagedScanTable paged(table, sc);
+        const RunResult r = RunStream(paged, stream, dim);
+        const store::PageCacheStats cache = paged.paged().cache_stats();
+        add("paged_scan_" + backend + "_c" +
+                std::to_string(pc.cache_pages),
+            paged, r, &cache, pc.cache_pages);
+    }
+
+    {
+        store::StoreConfig sc;
+        sc.backend = store::StoreBackend::kFile;
+        sc.page_bytes = page_bytes;
+        sc.cache_pages = 64;
+        sc.path = dir + "/oc01_raw_oram.store";
+        store_files.push_back(sc.path);
+
+        Rng rng(67);
+        const Tensor oram_table =
+            oram_rows == rows
+                ? table
+                : Tensor::Randn({oram_rows, dim}, rng);
+        const double t0 = NowNs();
+        core::RawOramTable oram(oram_table, rng, sc);
+        const double load_s = (NowNs() - t0) * 1e-9;
+        std::printf(
+            "raw_oram: Z=%ld, %ld levels, %ld buckets, bulk load %.1f "
+            "s\n",
+            oram.oram().bucket_slots(), oram.oram().levels() + 1,
+            oram.oram().DiskFootprintBytes() / sc.page_bytes, load_s);
+
+        const auto oram_stream = MakeStream(
+            oram_rows, 1, oram_accesses, 73);
+        const RunResult r = RunStream(oram, oram_stream, dim);
+        const store::PageCacheStats cache = oram.oram().cache_stats();
+        auto& res = add("raw_oram", oram, r, &cache, sc.cache_pages);
+        res.num_params.emplace_back(
+            "oram_rows", static_cast<double>(oram_rows));
+        res.num_params.emplace_back("bulk_load_s", load_s);
+        res.num_params.emplace_back(
+            "bucket_slots",
+            static_cast<double>(oram.oram().bucket_slots()));
+        res.num_params.emplace_back(
+            "levels", static_cast<double>(oram.oram().levels() + 1));
+        res.num_params.emplace_back(
+            "disk_mb",
+            static_cast<double>(oram.oram().DiskFootprintBytes()) /
+                (1024.0 * 1024.0));
+    }
+
+    printer.Print();
+
+    std::error_code ec;
+    for (const std::string& path : store_files) {
+        std::filesystem::remove(path, ec);
+    }
+
+    if (!json_path.empty() && !report.WriteTo(json_path)) {
+        std::fprintf(stderr, "oc01: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -18,6 +18,7 @@
 #include <span>
 #include <string_view>
 
+#include "serving/status.h"
 #include "sidechannel/trace.h"
 #include "tensor/tensor.h"
 
@@ -86,6 +87,13 @@ class EmbeddingGenerator
     {
         (void)recorder;
     }
+
+    /**
+     * Flush any out-of-core storage durably (dirty page write-back +
+     * store sync). In-RAM generators have nothing to flush; the paged
+     * generators override. serving::Server calls this on shutdown.
+     */
+    virtual serving::Status SyncStorage() { return serving::Status::Ok(); }
 };
 
 }  // namespace secemb::core

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/paged_generators.h"
 #include "core/table_generators.h"
 
 namespace secemb::core {
@@ -20,6 +21,8 @@ GenKindName(GenKind kind)
       case GenKind::kHybridUniform: return "Hybrid Uniform";
       case GenKind::kHybridVaried: return "Hybrid Varied";
       case GenKind::kProxyOram: return "Path ORAM (proxy)";
+      case GenKind::kPagedScan: return "Paged Linear Scan";
+      case GenKind::kRawOram: return "RAW ORAM";
     }
     return "?";
 }
@@ -80,6 +83,22 @@ MakeGenerator(GenKind kind, int64_t table_size, int64_t dim, Rng& rng,
         pc.nthreads = opt.nthreads;
         return std::make_unique<ProxiedOramTable>(
             table(), oram::OramKind::kPath, rng, opt.oram_params, pc);
+      }
+      case GenKind::kPagedScan: {
+        const store::StoreConfig sc =
+            opt.store ? *opt.store : store::StoreConfig{};
+        const Tensor t = table();
+        auto g = std::make_unique<PagedScanTable>(t, sc);
+        g->set_nthreads(opt.nthreads);
+        return g;
+      }
+      case GenKind::kRawOram: {
+        const store::StoreConfig sc =
+            opt.store ? *opt.store : store::StoreConfig{};
+        store::RawOramConfig rc;
+        if (opt.oram_params != nullptr) rc.posmap = *opt.oram_params;
+        const Tensor t = table();
+        return std::make_unique<RawOramTable>(t, rng, sc, rc);
       }
       case GenKind::kDheUniform:
         return std::make_unique<DheGenerator>(

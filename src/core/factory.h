@@ -13,6 +13,7 @@
 #include "core/embedding_generator.h"
 #include "core/hybrid.h"
 #include "oram/params.h"
+#include "store/backing_store.h"
 #include "tensor/rng.h"
 
 namespace secemb::core {
@@ -29,6 +30,8 @@ enum class GenKind
     kHybridUniform,
     kHybridVaried,
     kProxyOram,     ///< Path ORAM behind the async coalescing proxy
+    kPagedScan,     ///< out-of-core linear scan (src/store paged table)
+    kRawOram,       ///< page-optimized RAW ORAM over a backing store
 };
 
 /** Paper-style display name ("Index Lookup (non-secure)", ...). */
@@ -47,6 +50,9 @@ struct GeneratorOptions
     const ThresholdTable* thresholds = nullptr;
     /** ORAM overrides for the ORAM kinds (nullptr: paper defaults). */
     const oram::OramParams* oram_params = nullptr;
+    /** Backing-store configuration for the out-of-core kinds (nullptr:
+     *  in-memory store with StoreConfig defaults). */
+    const store::StoreConfig* store = nullptr;
     /**
      * Pre-trained weights. If table is non-null it seeds the table-based
      * kinds; if dhe is non-null it seeds the DHE/hybrid kinds. When null,

@@ -1,0 +1,149 @@
+#pragma once
+
+/**
+ * @file
+ * Out-of-core embedding generators: the oblivious techniques of
+ * table_generators.h with the table living in a src/store BackingStore
+ * (file, mmap, or memory) behind a bounded page cache, instead of in RAM.
+ *
+ * Generate() is a void interface, so per-call store IO failures surface as
+ * store::StoreError — the typed bridge serving::Server unwraps back into a
+ * serving::Status for the response (chaos tests assert the mapping per
+ * fault class).
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "core/embedding_generator.h"
+#include "oram/proxy.h"
+#include "store/paged_table.h"
+#include "store/raw_oram.h"
+#include "tensor/rng.h"
+
+namespace secemb::core {
+
+/**
+ * Oblivious linear scan over a paged out-of-core table: every query
+ * streams all pages through the bounded cache once — the certified public
+ * page schedule (pages 0..P-1, in order, independent of the indices).
+ */
+class PagedScanTable : public EmbeddingGenerator
+{
+  public:
+    /** Copies `table` (rows x dim) into a store built from `config`.
+     *  Throws store::StoreError on store creation/upload failure. */
+    PagedScanTable(const Tensor& table, const store::StoreConfig& config);
+
+    void Generate(std::span<const int64_t> indices, Tensor& out) override;
+    void GeneratePooled(std::span<const int64_t> indices,
+                        std::span<const int64_t> offsets,
+                        Tensor& out) override;
+    int64_t dim() const override { return table_.dim(); }
+    int64_t num_rows() const override { return table_.rows(); }
+    int64_t MemoryFootprintBytes() const override
+    {
+        return table_.MemoryFootprintBytes();
+    }
+    std::string_view name() const override { return "Paged Linear Scan"; }
+    bool IsOblivious() const override { return true; }
+    void set_nthreads(int nthreads) override { nthreads_ = nthreads; }
+    void set_recorder(sidechannel::TraceRecorder* r) override
+    {
+        table_.set_recorder(r);
+    }
+
+    /** Flush dirty cache frames and sync the store durably. */
+    serving::Status SyncStorage() override { return table_.Sync(); }
+
+    store::PagedTable& paged() { return table_; }
+
+  private:
+    store::PagedTable table_;
+    int nthreads_ = 1;
+};
+
+/**
+ * Embedding table behind the page-optimized RAW ORAM (src/store/raw_oram):
+ * one bucket = one store page, read paths with no write-back, eviction
+ * amortized every A accesses. Batch entries are processed sequentially
+ * (ORAM controller state), like OramTable.
+ */
+class RawOramTable : public EmbeddingGenerator
+{
+  public:
+    /**
+     * Builds the store (store_config geometry; num_pages is derived from
+     * RawOram::PagesNeeded) and bulk-loads `table` (rows x dim). The trace
+     * recorder must arrive via oram_config.recorder — the position map
+     * binds it at construction. Throws store::StoreError on failure.
+     */
+    RawOramTable(const Tensor& table, Rng& rng,
+                 const store::StoreConfig& store_config,
+                 const store::RawOramConfig& oram_config = {});
+
+    void Generate(std::span<const int64_t> indices, Tensor& out) override;
+    int64_t dim() const override { return dim_; }
+    int64_t num_rows() const override { return rows_; }
+    int64_t MemoryFootprintBytes() const override
+    {
+        return oram_->MemoryFootprintBytes();
+    }
+    std::string_view name() const override { return "RAW ORAM"; }
+    bool IsOblivious() const override { return true; }
+
+    /** Flush dirty cache frames and sync the store durably. */
+    serving::Status SyncStorage() override { return oram_->Sync(); }
+
+    store::RawOram& oram() { return *oram_; }
+
+  private:
+    int64_t rows_;
+    int64_t dim_;
+    std::unique_ptr<store::RawOram> oram_;
+};
+
+/**
+ * The out-of-core RAW ORAM behind the PR 7 async proxy: batch entries are
+ * submitted to the proxy queue, in-window duplicates coalesce into one
+ * physical access (padded back with dummy ids), and the conductor thread
+ * drives the RAW ORAM serially through OramProxy's generic BlockBackend.
+ */
+class ProxiedRawOramTable : public EmbeddingGenerator
+{
+  public:
+    ProxiedRawOramTable(const Tensor& table, Rng& rng,
+                        const store::StoreConfig& store_config,
+                        const store::RawOramConfig& oram_config = {},
+                        const oram::ProxyConfig& proxy_config = {});
+
+    void Generate(std::span<const int64_t> indices, Tensor& out) override;
+    int64_t dim() const override { return dim_; }
+    int64_t num_rows() const override { return rows_; }
+    int64_t MemoryFootprintBytes() const override
+    {
+        return oram_->MemoryFootprintBytes();
+    }
+    std::string_view name() const override { return "RAW ORAM (proxy)"; }
+    bool IsOblivious() const override { return true; }
+
+    /** Quiesce the proxy, then flush + sync the store durably. */
+    serving::Status SyncStorage() override;
+
+    /** Route the proxy's lifecycle hops into a serving flight recorder. */
+    void set_flight(serving::FlightRecorder* flight)
+    {
+        proxy_->set_flight(flight);
+    }
+
+    store::RawOram& oram() { return *oram_; }
+    oram::OramProxy& proxy() { return *proxy_; }
+
+  private:
+    int64_t rows_;
+    int64_t dim_;
+    std::unique_ptr<store::RawOram> oram_;
+    std::unique_ptr<oram::OramProxy> proxy_;
+};
+
+}  // namespace secemb::core

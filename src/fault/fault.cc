@@ -57,6 +57,9 @@ FaultSiteName(FaultSite site)
         case FaultSite::kWorkerException: return "worker_exception";
         case FaultSite::kWorkerStall: return "worker_stall";
         case FaultSite::kGenerate: return "generate";
+        case FaultSite::kIoOpen: return "io_open";
+        case FaultSite::kIoRead: return "io_read";
+        case FaultSite::kIoWrite: return "io_write";
         case FaultSite::kCount: break;
     }
     return "unknown";

@@ -49,6 +49,9 @@ enum class FaultSite : int
     kWorkerException,  ///< ParallelFor chunk throws InjectedFault
     kWorkerStall,      ///< ParallelFor chunk sleeps before running
     kGenerate,         ///< serving generation attempt fails up front
+    kIoOpen,           ///< backing-store open/create fails
+    kIoRead,           ///< backing-store page read fails (short read)
+    kIoWrite,          ///< backing-store page write fails (ENOSPC)
     kCount,
 };
 

@@ -98,6 +98,19 @@ void CtCopyRow(uint64_t mask, std::span<const float> src,
 /** Conditional swap of a and b when mask is all-ones; always touches both. */
 void CtSwapRows(uint64_t mask, std::span<float> a, std::span<float> b);
 
+/**
+ * CtCopyRow for raw 32-bit words: conditionally overwrite dst with src
+ * when mask is all-ones, always touching every element. The out-of-core
+ * ORAM layers (src/store) move encrypted payload words with this.
+ */
+inline void
+CtCopyWords(uint64_t mask, const uint32_t* src, uint32_t* dst, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        dst[i] = static_cast<uint32_t>(Select(mask, src[i], dst[i]));
+    }
+}
+
 /** Conditional swap of scalars. */
 inline void
 CtSwapU64(uint64_t mask, uint64_t& a, uint64_t& b)

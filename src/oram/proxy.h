@@ -41,6 +41,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -83,9 +84,32 @@ struct ProxyStats
 class OramProxy
 {
   public:
+    /**
+     * A pluggable serial ORAM controller: fills `out` (block_words) with
+     * the payload of block `id`. Only the conductor thread calls it, so
+     * implementations need not be thread-safe — this is how the proxy
+     * fronts backends other than TreeOram (the out-of-core RAW ORAM in
+     * src/store).
+     */
+    using BlockBackend =
+        std::function<void(int64_t id, std::vector<uint32_t>& out)>;
+
     /** Takes ownership of a loaded TreeOram. The conductor thread starts
      *  immediately. */
     OramProxy(std::unique_ptr<TreeOram> oram, const ProxyConfig& config);
+
+    /**
+     * Front a generic oblivious block backend: same queue, coalescing,
+     * and dummy padding; every physical access runs the backend serially
+     * on the conductor (the parallel Path decomposition needs TreeOram
+     * internals and does not apply).
+     *
+     * @param dummy_seed seeds the dummy-access id stream
+     */
+    OramProxy(BlockBackend backend, int64_t num_blocks,
+              int64_t block_words, uint64_t dummy_seed,
+              const ProxyConfig& config);
+
     ~OramProxy();
 
     OramProxy(const OramProxy&) = delete;
@@ -108,8 +132,10 @@ class OramProxy
     /** Flush, then stop the conductor. Idempotent. */
     void Shutdown();
 
+    /** Valid only for the TreeOram-owning constructor (has_tree()). */
     TreeOram& oram() { return *tree_; }
     const TreeOram& oram() const { return *tree_; }
+    bool has_tree() const { return tree_ != nullptr; }
     ProxyStats stats() const;
 
     /** ParallelFor width for subsequent accesses (any thread). */
@@ -145,6 +171,9 @@ class OramProxy
     void RecordHop(serving::FlightHop hop, uint64_t rid, uint32_t detail);
 
     std::unique_ptr<TreeOram> tree_;
+    BlockBackend backend_;   ///< set iff tree_ is null
+    int64_t num_blocks_;     ///< cached geometry (both backends)
+    int64_t block_words_;
     ProxyConfig config_;
     bool parallel_path_;  ///< Path kind + flat posmap: parallel pipeline
     Rng dummy_rng_;       ///< dummy-access ids (split from the tree's rng)

@@ -100,6 +100,8 @@ FlightHopName(FlightHop hop)
         case FlightHop::kProxyCoalesce: return "proxy_coalesce";
         case FlightHop::kProxyAccess: return "proxy_access";
         case FlightHop::kProxyEvict: return "proxy_evict";
+        case FlightHop::kStoreFetch: return "store_fetch";
+        case FlightHop::kStoreWriteback: return "store_writeback";
     }
     return "unknown";
 }

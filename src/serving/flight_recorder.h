@@ -56,6 +56,10 @@ enum class FlightHop : uint8_t
     kProxyCoalesce,      ///< joined an in-window duplicate's access
     kProxyAccess,        ///< one physical (real or dummy) ORAM access
     kProxyEvict,         ///< deferred eviction work drained
+    // Out-of-core store hops (src/store): detail carries the page index
+    // (a public value: the paged schedules are certified input-independent).
+    kStoreFetch,         ///< page cache miss fetched from the backing store
+    kStoreWriteback,     ///< dirty page written back to the backing store
 };
 
 /** Stable name for JSON / debugging ("enqueue", "shed", ...). */

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "perfmon/perfmon.h"
+#include "store/backing_store.h"
 #include "telemetry/telemetry.h"
 
 namespace secemb::serving {
@@ -50,6 +51,20 @@ Server::Shutdown()
     std::call_once(shutdown_once_, [this] {
         queue_.Shutdown();
         if (batcher_.joinable()) batcher_.join();
+        if (config_.sync_storage_on_shutdown) {
+            // Batcher is joined: generators are quiescent, so the flush
+            // races nothing. In-RAM generators return Ok trivially.
+            for (size_t f = 0; f < features_.size(); ++f) {
+                const Status s = features_[f]->SyncStorage();
+                if (!s.ok()) {
+                    storage_sync_failures_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    TELEMETRY_COUNT("serving.storage_sync_failures", 1);
+                    RecordHop(0, FlightHop::kStoreWriteback, s.code,
+                              static_cast<int>(f), degrade_level(), 0);
+                }
+            }
+        }
     });
 }
 
@@ -432,6 +447,13 @@ Server::GenerateWithRetry(int feature, const std::function<void()>& call,
             last = Status::Error(StatusCode::kInternal,
                                  std::string("transient fault: ") +
                                      e.what());
+        } catch (const store::StoreError& e) {
+            // Typed out-of-core IO failure (torn write, short read,
+            // ENOSPC, ...): not transient — surface its Status verbatim
+            // without burning retries.
+            if (sink != nullptr) gen.set_recorder(nullptr);
+            *retries_out = attempt;
+            return e.status();
         } catch (const std::exception& e) {
             if (sink != nullptr) gen.set_recorder(nullptr);
             *retries_out = attempt;
@@ -560,6 +582,8 @@ Server::GetStats() const
     s.retries = retries_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
     s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
+    s.storage_sync_failures =
+        storage_sync_failures_.load(std::memory_order_relaxed);
     s.degrade_level = degrade_level_.load(std::memory_order_relaxed);
     s.queue_depth = queue_.size();
     if (flight_ != nullptr) {

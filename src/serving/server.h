@@ -92,6 +92,11 @@ struct ServerConfig
     /// Flight-recorder ring capacity (events, rounded up to a power of
     /// two). 0 disables per-request lifecycle recording entirely.
     size_t flight_recorder_capacity = 2048;
+    /// Call SyncStorage() on every generator during Shutdown so
+    /// out-of-core tables flush dirty pages durably before the process
+    /// exits. Failures are counted (ServerStats::storage_sync_failures)
+    /// and recorded as store_writeback flight hops with the error code.
+    bool sync_storage_on_shutdown = true;
 };
 
 struct Request
@@ -136,6 +141,8 @@ struct ServerStats
     uint64_t retries = 0;
     uint64_t batches = 0;
     uint64_t degraded_batches = 0;
+    /// Generators whose SyncStorage() failed during Shutdown.
+    uint64_t storage_sync_failures = 0;
     int degrade_level = 0;
     size_t queue_depth = 0;
     /// Flight-recorder occupancy: total lifecycle events recorded and
@@ -259,6 +266,7 @@ class Server
     mutable std::atomic<uint64_t> retries_{0};
     mutable std::atomic<uint64_t> batches_{0};
     mutable std::atomic<uint64_t> degraded_batches_{0};
+    mutable std::atomic<uint64_t> storage_sync_failures_{0};
 };
 
 }  // namespace secemb::serving

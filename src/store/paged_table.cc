@@ -1,0 +1,170 @@
+#include "store/paged_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "oblivious/ct_ops.h"
+#include "telemetry/telemetry.h"
+#include "tensor/parallel.h"
+
+namespace secemb::store {
+
+PagedTable::PagedTable(const float* data, int64_t rows, int64_t dim,
+                       const StoreConfig& config)
+    : rows_(rows), dim_(dim)
+{
+    const int64_t row_bytes = dim * static_cast<int64_t>(sizeof(float));
+    rows_per_page_ = config.page_bytes / row_bytes;
+    if (rows <= 0 || dim <= 0 || rows_per_page_ < 1) {
+        ThrowIfError(serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "paged table: page_bytes " + std::to_string(config.page_bytes) +
+                " cannot hold one row of dim " + std::to_string(dim)));
+    }
+    num_pages_ = (rows + rows_per_page_ - 1) / rows_per_page_;
+    ThrowIfError(MakePageCache(config, num_pages_, &cache_));
+    trace_base_ = sidechannel::ProcessAddressSpace().Reserve(
+        static_cast<uint64_t>(num_pages_ * cache_->page_bytes()), 4096,
+        "store.scan.pages");
+
+    // Upload row-major data page by page (tail page zero-padded).
+    std::vector<uint8_t> page(static_cast<size_t>(cache_->page_bytes()),
+                              0);
+    for (int64_t p = 0; p < num_pages_; ++p) {
+        std::memset(page.data(), 0, page.size());
+        const int64_t first = p * rows_per_page_;
+        const int64_t count = std::min(rows_per_page_, rows - first);
+        std::memcpy(page.data(), data + first * dim,
+                    static_cast<size_t>(count * row_bytes));
+        ThrowIfError(cache_->WritePage(p, page));
+    }
+}
+
+void
+PagedTable::BlendPage(const float* page_rows, int64_t first_row,
+                      int64_t rows_in_page,
+                      std::span<const int64_t> indices, int64_t b0,
+                      int64_t b1, float* out) const
+{
+    for (int64_t b = b0; b < b1; ++b) {
+        const auto idx = static_cast<uint64_t>(indices[static_cast<size_t>(b)]);
+        float* dst = out + b * dim_;
+        for (int64_t r = 0; r < rows_in_page; ++r) {
+            const uint64_t mask = oblivious::EqMask(
+                static_cast<uint64_t>(first_row + r), idx);
+            oblivious::CtCopyRow(
+                mask,
+                std::span<const float>(page_rows + r * dim_,
+                                       static_cast<size_t>(dim_)),
+                std::span<float>(dst, static_cast<size_t>(dim_)));
+        }
+    }
+}
+
+void
+PagedTable::AccumulatePage(const float* page_rows, int64_t first_row,
+                           int64_t rows_in_page,
+                           std::span<const int64_t> indices,
+                           std::span<const int64_t> offsets, int64_t b0,
+                           int64_t b1, float* out) const
+{
+    for (int64_t b = b0; b < b1; ++b) {
+        float* dst = out + b * dim_;
+        for (int64_t k = offsets[static_cast<size_t>(b)];
+             k < offsets[static_cast<size_t>(b) + 1]; ++k) {
+            const auto idx =
+                static_cast<uint64_t>(indices[static_cast<size_t>(k)]);
+            for (int64_t r = 0; r < rows_in_page; ++r) {
+                const uint64_t mask = oblivious::EqMask(
+                    static_cast<uint64_t>(first_row + r), idx);
+                const float* src = page_rows + r * dim_;
+                for (int64_t c = 0; c < dim_; ++c) {
+                    dst[c] += oblivious::SelectF32(mask, src[c], 0.0f);
+                }
+            }
+        }
+    }
+}
+
+serving::Status
+PagedTable::LookupBatch(std::span<const int64_t> indices, float* out,
+                        int nthreads)
+{
+    TELEMETRY_SPAN("store.paged_scan.batch");
+    for (const int64_t idx : indices) {
+        if (idx < 0 || idx >= rows_) {
+            return serving::Status::Error(
+                serving::StatusCode::kInvalidArgument,
+                "index " + std::to_string(idx) + " out of range [0, " +
+                    std::to_string(rows_) + ")");
+        }
+    }
+    std::memset(out, 0, static_cast<size_t>(indices.size()) *
+                            static_cast<size_t>(dim_) * sizeof(float));
+    const auto batch = static_cast<int64_t>(indices.size());
+    std::vector<uint8_t> page(static_cast<size_t>(cache_->page_bytes()));
+    for (int64_t p = 0; p < num_pages_; ++p) {
+        if (recorder_ != nullptr) {
+            recorder_->Record(
+                trace_base_ +
+                    static_cast<uint64_t>(p * cache_->page_bytes()),
+                static_cast<uint32_t>(cache_->page_bytes()), false);
+        }
+        if (auto s = cache_->ReadPage(p, page); !s.ok()) return s;
+        const int64_t first = p * rows_per_page_;
+        const int64_t count = std::min(rows_per_page_, rows_ - first);
+        const auto* page_rows =
+            reinterpret_cast<const float*>(page.data());
+        ParallelFor(batch, nthreads, [&](int64_t b0, int64_t b1) {
+            BlendPage(page_rows, first, count, indices, b0, b1, out);
+        });
+    }
+    return serving::Status::Ok();
+}
+
+serving::Status
+PagedTable::LookupPooled(std::span<const int64_t> indices,
+                         std::span<const int64_t> offsets, float* out,
+                         int nthreads)
+{
+    TELEMETRY_SPAN("store.paged_scan.pooled");
+    if (offsets.size() < 1 || offsets.front() != 0 ||
+        offsets.back() != static_cast<int64_t>(indices.size())) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "pooled lookup: bad offsets");
+    }
+    for (const int64_t idx : indices) {
+        if (idx < 0 || idx >= rows_) {
+            return serving::Status::Error(
+                serving::StatusCode::kInvalidArgument,
+                "index " + std::to_string(idx) + " out of range [0, " +
+                    std::to_string(rows_) + ")");
+        }
+    }
+    const auto bags = static_cast<int64_t>(offsets.size()) - 1;
+    std::memset(out, 0, static_cast<size_t>(bags) *
+                            static_cast<size_t>(dim_) * sizeof(float));
+    std::vector<uint8_t> page(static_cast<size_t>(cache_->page_bytes()));
+    for (int64_t p = 0; p < num_pages_; ++p) {
+        if (recorder_ != nullptr) {
+            recorder_->Record(
+                trace_base_ +
+                    static_cast<uint64_t>(p * cache_->page_bytes()),
+                static_cast<uint32_t>(cache_->page_bytes()), false);
+        }
+        if (auto s = cache_->ReadPage(p, page); !s.ok()) return s;
+        const int64_t first = p * rows_per_page_;
+        const int64_t count = std::min(rows_per_page_, rows_ - first);
+        const auto* page_rows =
+            reinterpret_cast<const float*>(page.data());
+        ParallelFor(bags, nthreads, [&](int64_t b0, int64_t b1) {
+            AccumulatePage(page_rows, first, count, indices, offsets, b0,
+                           b1, out);
+        });
+    }
+    return serving::Status::Ok();
+}
+
+}  // namespace secemb::store

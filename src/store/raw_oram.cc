@@ -1,0 +1,525 @@
+#include "store/raw_oram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "oblivious/ct_ops.h"
+#include "telemetry/telemetry.h"
+
+namespace secemb::store {
+
+namespace {
+
+using oblivious::CtCopyWords;
+using oblivious::EqMask;
+using oblivious::Select;
+
+int64_t
+SlotsPerPage(int64_t block_words, int64_t page_bytes)
+{
+    const int64_t z =
+        page_bytes / (block_words * static_cast<int64_t>(sizeof(uint32_t)));
+    if (z < 2) {
+        throw StoreError(serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "raw oram: page of " + std::to_string(page_bytes) +
+                " bytes holds fewer than 2 blocks of " +
+                std::to_string(block_words) + " words"));
+    }
+    return z;
+}
+
+/** Leaf count: leaf-level capacity ~2x the block count, power of two. */
+int64_t
+LeavesFor(int64_t num_blocks, int64_t slots_per_page)
+{
+    const int64_t min_leaves =
+        std::max<int64_t>(1, (2 * num_blocks + slots_per_page - 1) /
+                                 slots_per_page);
+    int64_t leaves = 1;
+    while (leaves < min_leaves) leaves <<= 1;
+    return leaves;
+}
+
+int64_t
+Log2(int64_t pow2)
+{
+    int64_t l = 0;
+    while ((int64_t{1} << l) < pow2) ++l;
+    return l;
+}
+
+oram::OramParams
+PosmapParams(const RawOramConfig& config)
+{
+    oram::OramParams p = config.posmap;
+    p.recorder = config.recorder;
+    return p;
+}
+
+}  // namespace
+
+int64_t
+RawOram::PagesNeeded(int64_t num_blocks, int64_t block_words,
+                     int64_t page_bytes)
+{
+    const int64_t z = SlotsPerPage(block_words, page_bytes);
+    return 2 * LeavesFor(num_blocks, z) - 1;
+}
+
+RawOram::RawOram(int64_t num_blocks, int64_t block_words,
+                 std::unique_ptr<PageCache> cache, Rng& rng,
+                 const RawOramConfig& config)
+    : num_blocks_(num_blocks),
+      block_words_(block_words),
+      bucket_slots_(SlotsPerPage(block_words, cache->page_bytes())),
+      levels_(Log2(LeavesFor(num_blocks, bucket_slots_))),
+      num_leaves_(LeavesFor(num_blocks, bucket_slots_)),
+      num_buckets_(2 * num_leaves_ - 1),
+      eviction_period_(std::max<int64_t>(1, config.eviction_period)),
+      stash_capacity_(config.stash_capacity > 0
+                          ? config.stash_capacity
+                          : bucket_slots_ * (levels_ + 1) +
+                                8 * std::max<int64_t>(
+                                        1, config.eviction_period) +
+                                64),
+      encrypt_(config.encrypt_payloads),
+      cache_(std::move(cache)),
+      rng_(rng.Next()),
+      posmap_(oram::OramKind::kPath, num_blocks,
+              static_cast<uint32_t>(num_leaves_), rng,
+              PosmapParams(config)),
+      cipher_(rng.Next()),
+      recorder_(config.recorder)
+{
+    if (cache_->num_pages() < num_buckets_) {
+        throw StoreError(serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "raw oram: store has " + std::to_string(cache_->num_pages()) +
+                " pages, tree needs " + std::to_string(num_buckets_) +
+                " (size with RawOram::PagesNeeded)"));
+    }
+    slot_id_.assign(
+        static_cast<size_t>(num_buckets_ * bucket_slots_), kDummyId);
+    slot_leaf_.assign(static_cast<size_t>(num_buckets_ * bucket_slots_),
+                      0);
+    stash_id_.assign(static_cast<size_t>(stash_capacity_), kDummyId);
+    stash_leaf_.assign(static_cast<size_t>(stash_capacity_), 0);
+    stash_data_.assign(
+        static_cast<size_t>(stash_capacity_ * block_words_), 0);
+    bucket_version_.assign(static_cast<size_t>(num_buckets_), 0);
+    path_pages_.resize(
+        static_cast<size_t>((levels_ + 1) * cache_->page_bytes()));
+    path_buckets_.resize(static_cast<size_t>(levels_ + 1));
+
+    auto& space = sidechannel::ProcessAddressSpace();
+    pages_trace_base_ = space.Reserve(
+        static_cast<uint64_t>(num_buckets_ * cache_->page_bytes()), 4096,
+        "store.oram.pages");
+    stash_trace_base_ = space.Reserve(
+        static_cast<uint64_t>(stash_capacity_ *
+                              (16 + 4 * block_words_)),
+        64, "store.raworam.stash");
+    meta_trace_base_ = space.Reserve(
+        static_cast<uint64_t>(num_buckets_ * bucket_slots_ * 16), 64,
+        "store.raworam.meta");
+}
+
+int64_t
+RawOram::BucketOnPath(uint32_t leaf, int64_t level) const
+{
+    return ((num_leaves_ + static_cast<int64_t>(leaf)) >>
+            (levels_ - level)) -
+           1;
+}
+
+uint32_t
+RawOram::NextEvictionLeaf()
+{
+    uint64_t g = evict_counter_++;
+    uint32_t leaf = 0;
+    for (int64_t i = 0; i < levels_; ++i) {
+        leaf = (leaf << 1) | static_cast<uint32_t>(g & 1);
+        g >>= 1;
+    }
+    return leaf;
+}
+
+uint64_t
+RawOram::CanPlaceMask(uint32_t block_leaf, uint32_t path_leaf,
+                      int64_t level) const
+{
+    const int64_t shift = levels_ - level;
+    return EqMask(static_cast<uint64_t>(block_leaf) >> shift,
+                  static_cast<uint64_t>(path_leaf) >> shift);
+}
+
+void
+RawOram::RecordPage(int64_t bucket, bool is_write)
+{
+    if (recorder_ != nullptr) {
+        recorder_->Record(
+            pages_trace_base_ +
+                static_cast<uint64_t>(bucket * cache_->page_bytes()),
+            static_cast<uint32_t>(cache_->page_bytes()), is_write);
+    }
+}
+
+void
+RawOram::RecordStashScan(bool is_write)
+{
+    if (recorder_ != nullptr) {
+        recorder_->Record(
+            stash_trace_base_,
+            static_cast<uint32_t>(stash_capacity_ *
+                                  (16 + 4 * block_words_)),
+            is_write);
+    }
+}
+
+void
+RawOram::RecordMetaScan(int64_t bucket)
+{
+    if (recorder_ != nullptr) {
+        recorder_->Record(
+            meta_trace_base_ +
+                static_cast<uint64_t>(bucket * bucket_slots_ * 16),
+            static_cast<uint32_t>(bucket_slots_ * 16), false);
+    }
+}
+
+serving::Status
+RawOram::BulkLoad(std::span<const uint32_t> data)
+{
+    if (loaded_) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "raw oram: already bulk-loaded");
+    }
+    if (data.size() !=
+        static_cast<size_t>(num_blocks_ * block_words_)) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "raw oram: bulk load size mismatch");
+    }
+    const std::vector<uint32_t>& leaves0 = posmap_.initial_leaves();
+
+    // Greedy deepest-first placement, metadata only (RAM).
+    std::vector<uint16_t> occupancy(static_cast<size_t>(num_buckets_), 0);
+    int64_t spilled = 0;
+    for (int64_t id = 0; id < num_blocks_; ++id) {
+        const uint32_t leaf = leaves0[static_cast<size_t>(id)];
+        bool placed = false;
+        for (int64_t level = levels_; level >= 0 && !placed; --level) {
+            const int64_t b = BucketOnPath(leaf, level);
+            auto& occ = occupancy[static_cast<size_t>(b)];
+            if (occ < bucket_slots_) {
+                const size_t slot =
+                    static_cast<size_t>(b * bucket_slots_ + occ);
+                slot_id_[slot] = static_cast<uint64_t>(id);
+                slot_leaf_[slot] = leaf;
+                occ++;
+                placed = true;
+            }
+        }
+        if (!placed) {
+            if (spilled >= stash_capacity_) {
+                return serving::Status::Error(
+                    serving::StatusCode::kResourceExhausted,
+                    "raw oram: bulk load overflowed the stash");
+            }
+            stash_id_[static_cast<size_t>(spilled)] =
+                static_cast<uint64_t>(id);
+            stash_leaf_[static_cast<size_t>(spilled)] = leaf;
+            std::memcpy(
+                stash_data_.data() + spilled * block_words_,
+                data.data() + id * block_words_,
+                static_cast<size_t>(block_words_) * sizeof(uint32_t));
+            spilled++;
+        }
+    }
+
+    // Stream the payload pages out in bucket order.
+    const int64_t page_bytes = cache_->page_bytes();
+    const int64_t page_words = bucket_slots_ * block_words_;
+    std::vector<uint8_t> page(static_cast<size_t>(page_bytes), 0);
+    for (int64_t b = 0; b < num_buckets_; ++b) {
+        std::memset(page.data(), 0, page.size());
+        auto* words = reinterpret_cast<uint32_t*>(page.data());
+        for (int64_t z = 0; z < bucket_slots_; ++z) {
+            const uint64_t id = slot_id_[
+                static_cast<size_t>(b * bucket_slots_ + z)];
+            if (id != kDummyId) {
+                std::memcpy(words + z * block_words_,
+                            data.data() +
+                                static_cast<int64_t>(id) * block_words_,
+                            static_cast<size_t>(block_words_) *
+                                sizeof(uint32_t));
+            }
+        }
+        if (encrypt_) {
+            bucket_version_[static_cast<size_t>(b)] = 1;
+            cipher_.Apply(b, 1,
+                          std::span<uint32_t>(
+                              words, static_cast<size_t>(page_words)));
+        }
+        if (auto s = cache_->WritePage(b, page); !s.ok()) return s;
+    }
+    loaded_ = true;
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::FetchPath(uint32_t leaf)
+{
+    const int64_t page_bytes = cache_->page_bytes();
+    const int64_t page_words = bucket_slots_ * block_words_;
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = BucketOnPath(leaf, level);
+        path_buckets_[static_cast<size_t>(level)] = b;
+        RecordPage(b, false);
+        std::span<uint8_t> dst{
+            path_pages_.data() + level * page_bytes,
+            static_cast<size_t>(page_bytes)};
+        if (auto s = cache_->ReadPage(b, dst); !s.ok()) return s;
+        stats_.page_reads++;
+        const uint64_t version = bucket_version_[static_cast<size_t>(b)];
+        if (encrypt_ && version > 0) {
+            cipher_.Apply(
+                b, version,
+                std::span<uint32_t>(
+                    reinterpret_cast<uint32_t*>(dst.data()),
+                    static_cast<size_t>(page_words)));
+        }
+    }
+    return serving::Status::Ok();
+}
+
+void
+RawOram::StashInsertMasked(uint64_t insert_mask, uint64_t id,
+                           uint32_t leaf, const uint32_t* data)
+{
+    uint64_t done = 0;
+    for (int64_t s = 0; s < stash_capacity_; ++s) {
+        const uint64_t free_mask =
+            EqMask(stash_id_[static_cast<size_t>(s)], kDummyId);
+        const uint64_t take = insert_mask & free_mask & ~done;
+        stash_id_[static_cast<size_t>(s)] =
+            Select(take, id, stash_id_[static_cast<size_t>(s)]);
+        stash_leaf_[static_cast<size_t>(s)] = static_cast<uint32_t>(
+            Select(take, leaf, stash_leaf_[static_cast<size_t>(s)]));
+        CtCopyWords(take, data,
+                      stash_data_.data() + s * block_words_,
+                      block_words_);
+        done |= take;
+    }
+    if (insert_mask != 0 && done == 0) {
+        throw std::runtime_error("raw oram: stash overflow (capacity " +
+                                 std::to_string(stash_capacity_) + ")");
+    }
+}
+
+serving::Status
+RawOram::Access(int64_t id, Op op, std::span<uint32_t> read_out,
+                std::span<const uint32_t> write_in)
+{
+    if (!loaded_) {
+        return serving::Status::Error(serving::StatusCode::kInternal,
+                                      "raw oram: not bulk-loaded");
+    }
+    if (id < 0 || id >= num_blocks_) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "block id " + std::to_string(id) + " out of range [0, " +
+                std::to_string(num_blocks_) + ")");
+    }
+    TELEMETRY_SPAN("store.raw_oram.access");
+    const auto uid = static_cast<uint64_t>(id);
+    const auto new_leaf =
+        static_cast<uint32_t>(rng_.NextBounded(
+            static_cast<uint64_t>(num_leaves_)));
+    const uint32_t old_leaf = posmap_.Update(id, new_leaf);
+
+    // Oblivious extraction from the stash (the block may still be there
+    // from an earlier access in the current eviction window).
+    std::vector<uint32_t> block(static_cast<size_t>(block_words_), 0);
+    uint64_t found = 0;
+    RecordStashScan(false);
+    for (int64_t s = 0; s < stash_capacity_; ++s) {
+        const uint64_t m =
+            EqMask(stash_id_[static_cast<size_t>(s)], uid);
+        CtCopyWords(m, stash_data_.data() + s * block_words_,
+                      block.data(), block_words_);
+        stash_id_[static_cast<size_t>(s)] =
+            Select(m, kDummyId, stash_id_[static_cast<size_t>(s)]);
+        found |= m;
+    }
+
+    // Read path: levels+1 whole-page fetches, no write-back (RAW).
+    if (auto s = FetchPath(old_leaf); !s.ok()) return s;
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = path_buckets_[static_cast<size_t>(level)];
+        RecordMetaScan(b);
+        const auto* words = reinterpret_cast<const uint32_t*>(
+            path_pages_.data() + level * cache_->page_bytes());
+        for (int64_t z = 0; z < bucket_slots_; ++z) {
+            const size_t slot =
+                static_cast<size_t>(b * bucket_slots_ + z);
+            const uint64_t m = EqMask(slot_id_[slot], uid);
+            CtCopyWords(m, words + z * block_words_, block.data(),
+                          block_words_);
+            slot_id_[slot] = Select(m, kDummyId, slot_id_[slot]);
+            found |= m;
+        }
+    }
+    assert(found != 0 && "bulk-loaded block must exist");
+    (void)found;
+
+    if (op == Op::kWrite) {
+        std::memcpy(block.data(), write_in.data(),
+                    static_cast<size_t>(block_words_) * sizeof(uint32_t));
+    }
+    RecordStashScan(true);
+    StashInsertMasked(~uint64_t{0}, uid, new_leaf, block.data());
+    if (op == Op::kRead) {
+        std::memcpy(read_out.data(), block.data(),
+                    static_cast<size_t>(block_words_) * sizeof(uint32_t));
+    }
+
+    stats_.accesses++;
+    stats_.stash_peak = std::max(stats_.stash_peak, StashOccupancy());
+    if (stats_.accesses % eviction_period_ == 0) return Evict();
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::Evict()
+{
+    TELEMETRY_SPAN("store.raw_oram.evict");
+    const uint32_t leaf = NextEvictionLeaf();
+    if (auto s = FetchPath(leaf); !s.ok()) return s;
+    const int64_t page_bytes = cache_->page_bytes();
+    const int64_t page_words = bucket_slots_ * block_words_;
+
+    // Phase 1: pull every real path block into the stash (mask-gated
+    // insert per slot; dummies insert nothing but cost the same scan).
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = path_buckets_[static_cast<size_t>(level)];
+        RecordMetaScan(b);
+        const auto* words = reinterpret_cast<const uint32_t*>(
+            path_pages_.data() + level * page_bytes);
+        for (int64_t z = 0; z < bucket_slots_; ++z) {
+            const size_t slot =
+                static_cast<size_t>(b * bucket_slots_ + z);
+            const uint64_t valid = ~EqMask(slot_id_[slot], kDummyId);
+            RecordStashScan(true);
+            StashInsertMasked(valid, slot_id_[slot], slot_leaf_[slot],
+                              words + z * block_words_);
+            slot_id_[slot] = kDummyId;
+        }
+    }
+    stats_.stash_peak = std::max(stats_.stash_peak, StashOccupancy());
+
+    // Phase 2: greedy deepest-first repack with constant-time selects,
+    // then re-encrypt under a fresh version and write the page back.
+    for (int64_t level = levels_; level >= 0; --level) {
+        const int64_t b = path_buckets_[static_cast<size_t>(level)];
+        RecordMetaScan(b);
+        auto* page = path_pages_.data() + level * page_bytes;
+        std::memset(page, 0, static_cast<size_t>(page_bytes));
+        auto* words = reinterpret_cast<uint32_t*>(page);
+        for (int64_t z = 0; z < bucket_slots_; ++z) {
+            const size_t slot =
+                static_cast<size_t>(b * bucket_slots_ + z);
+            uint64_t chosen = 0;
+            RecordStashScan(false);
+            for (int64_t s = 0; s < stash_capacity_; ++s) {
+                const size_t si = static_cast<size_t>(s);
+                const uint64_t valid =
+                    ~EqMask(stash_id_[si], kDummyId);
+                const uint64_t take =
+                    valid & CanPlaceMask(stash_leaf_[si], leaf, level) &
+                    ~chosen;
+                CtCopyWords(take,
+                              stash_data_.data() + s * block_words_,
+                              words + z * block_words_, block_words_);
+                slot_id_[slot] = Select(take, stash_id_[si],
+                                        slot_id_[slot]);
+                slot_leaf_[slot] = static_cast<uint32_t>(Select(
+                    take, stash_leaf_[si], slot_leaf_[slot]));
+                stash_id_[si] = Select(take, kDummyId, stash_id_[si]);
+                chosen |= take;
+            }
+        }
+        uint64_t& version = bucket_version_[static_cast<size_t>(b)];
+        if (encrypt_) {
+            ++version;
+            cipher_.Apply(b, version,
+                          std::span<uint32_t>(
+                              words, static_cast<size_t>(page_words)));
+        }
+        RecordPage(b, true);
+        std::span<const uint8_t> src{page,
+                                     static_cast<size_t>(page_bytes)};
+        if (auto s = cache_->WritePage(b, src); !s.ok()) return s;
+        stats_.page_writes++;
+    }
+    stats_.evictions++;
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::Read(int64_t id, std::span<uint32_t> out)
+{
+    if (out.size() != static_cast<size_t>(block_words_)) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "raw oram read: bad block buffer size");
+    }
+    return Access(id, Op::kRead, out, {});
+}
+
+serving::Status
+RawOram::Write(int64_t id, std::span<const uint32_t> in)
+{
+    if (in.size() != static_cast<size_t>(block_words_)) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "raw oram write: bad block buffer size");
+    }
+    return Access(id, Op::kWrite, {}, in);
+}
+
+int64_t
+RawOram::StashOccupancy() const
+{
+    int64_t n = 0;
+    for (const uint64_t id : stash_id_) {
+        if (id != kDummyId) ++n;
+    }
+    return n;
+}
+
+int64_t
+RawOram::MemoryFootprintBytes() const
+{
+    const int64_t metadata =
+        static_cast<int64_t>(slot_id_.size() * sizeof(uint64_t) +
+                             slot_leaf_.size() * sizeof(uint32_t));
+    const int64_t stash =
+        static_cast<int64_t>(stash_id_.size() * sizeof(uint64_t) +
+                             stash_leaf_.size() * sizeof(uint32_t) +
+                             stash_data_.size() * sizeof(uint32_t));
+    const int64_t scratch = static_cast<int64_t>(
+        path_pages_.size() +
+        bucket_version_.size() * sizeof(uint64_t));
+    const int64_t cache_bytes =
+        cache_->capacity_pages() * cache_->page_bytes();
+    return metadata + stash + scratch + cache_bytes +
+           posmap_.FootprintBytes();
+}
+
+}  // namespace secemb::store

@@ -1,0 +1,209 @@
+#pragma once
+
+/**
+ * @file
+ * Page-optimized RAW ORAM for out-of-core embedding tables (after
+ * FEDORA-OramSim's page_optimized_raw_oram; the write-aware shape LAORAM
+ * argues for at this scale).
+ *
+ * Layout: one tree bucket = one backing-store page, so bucket capacity
+ * Z = page_bytes / block_bytes is large (a 4 KiB page holds 64 dim-16
+ * rows) and the tree is shallow. Block metadata (slot ids + leaves) and
+ * the stash stay client-side in RAM; only payload words live out of
+ * core — FEDORA's split between index structures and page data.
+ *
+ * RAW (read/write-asymmetric) schedule:
+ *  - Read path: fetch the levels+1 pages on the secret block's (random,
+ *    never-reused) leaf path, obliviously extract the block into the
+ *    stash, remap its leaf — and write NOTHING back. The extracted slot
+ *    is invalidated in the RAM metadata; the stale on-disk payload is
+ *    harmless because metadata is authoritative. Because whole pages are
+ *    fetched (not single slots), repeated touches of a bucket leak no
+ *    intra-bucket state, so the Ring-ORAM reshuffle machinery is not
+ *    needed.
+ *  - Eviction: every A accesses (eviction_period), one path in
+ *    reverse-lexicographic order is read, merged with the stash, greedily
+ *    repacked deepest-first with constant-time selects, re-encrypted
+ *    under a bumped version, and written back. Reads therefore cost
+ *    levels+1 page fetches; writes are amortized to (levels+1)/A pages
+ *    per access.
+ *
+ * Observable schedule (recorded trace): page fetches/writes in
+ * "store.oram.pages" (leaf paths = uniform randomness + the public
+ * eviction counter), whole-stash scans in "store.raworam.stash", and
+ * per-bucket metadata scans in "store.raworam.meta" — certified by the
+ * verify harness as subject "raw_oram".
+ */
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "oram/crypto.h"
+#include "oram/params.h"
+#include "oram/tree_oram.h"
+#include "sidechannel/trace.h"
+#include "store/page_cache.h"
+#include "tensor/rng.h"
+
+namespace secemb::store {
+
+/** Tunables for one RawOram instance. */
+struct RawOramConfig
+{
+    /** A: accesses between eviction passes. */
+    int64_t eviction_period = 8;
+    /** Client-side stash slots; 0 = auto (path capacity + margin). */
+    int64_t stash_capacity = 0;
+    /** CTR re-encryption of every page written back. */
+    bool encrypt_payloads = true;
+    /** Position-map tunables (recursion threshold, fanout, recorder). */
+    oram::OramParams posmap = oram::OramParams::Defaults(
+        oram::OramKind::kPath);
+    /** Trace sink for page/stash/metadata accesses (nullptr = off). */
+    sidechannel::TraceRecorder* recorder = nullptr;
+};
+
+/** Cumulative counters. */
+struct RawOramStats
+{
+    int64_t accesses = 0;
+    int64_t evictions = 0;
+    int64_t page_reads = 0;
+    int64_t page_writes = 0;
+    int64_t stash_peak = 0;  ///< high-water real blocks in the stash
+};
+
+class RawOram
+{
+  public:
+    static constexpr uint64_t kDummyId = oram::TreeOram::kDummyId;
+
+    /**
+     * Tree geometry for a given store page size: how many pages the
+     * backing store must have. Callers size the store with this before
+     * construction. Throws StoreError if a page cannot hold 2 blocks.
+     */
+    static int64_t PagesNeeded(int64_t num_blocks, int64_t block_words,
+                               int64_t page_bytes);
+
+    /**
+     * @param num_blocks logical blocks (table rows)
+     * @param block_words payload words per block (embedding dim)
+     * @param cache page cache over a store of PagesNeeded() pages (owned)
+     * @param rng leaf randomness (a private generator is split from it)
+     */
+    RawOram(int64_t num_blocks, int64_t block_words,
+            std::unique_ptr<PageCache> cache, Rng& rng,
+            const RawOramConfig& config);
+
+    /**
+     * Non-oblivious bulk initialisation (num_blocks x block_words words);
+     * model weights are public in the threat model. Must be called once
+     * before Read/Write.
+     */
+    serving::Status BulkLoad(std::span<const uint32_t> data);
+
+    /** Oblivious read of block `id` into out (block_words). */
+    serving::Status Read(int64_t id, std::span<uint32_t> out);
+
+    /** Oblivious write of block `id` from in (block_words). */
+    serving::Status Write(int64_t id, std::span<const uint32_t> in);
+
+    /** Flush dirty cache frames and sync the store durably. */
+    serving::Status Sync() { return cache_->Sync(); }
+
+    int64_t num_blocks() const { return num_blocks_; }
+    int64_t block_words() const { return block_words_; }
+    int64_t num_leaves() const { return num_leaves_; }
+    /** Leaf level index; the tree has levels()+1 levels. */
+    int64_t levels() const { return levels_; }
+    /** Z: blocks per bucket (= per page). */
+    int64_t bucket_slots() const { return bucket_slots_; }
+    int64_t stash_capacity() const { return stash_capacity_; }
+    int64_t StashOccupancy() const;
+
+    const RawOramStats& stats() const { return stats_; }
+    PageCacheStats cache_stats() const { return cache_->stats(); }
+
+    /** Route fetch/write-back hops into a serving flight recorder. */
+    void set_flight(serving::FlightRecorder* flight, int16_t feature = -1)
+    {
+        cache_->set_flight(flight, feature);
+    }
+
+    /** Client-side resident bytes: metadata + stash + posmap + cache. */
+    int64_t MemoryFootprintBytes() const;
+    /** Bytes occupied in the backing store. */
+    int64_t DiskFootprintBytes() const
+    {
+        return num_buckets_ * cache_->page_bytes();
+    }
+
+  private:
+    enum class Op { kRead, kWrite };
+
+    serving::Status Access(int64_t id, Op op, std::span<uint32_t> read_out,
+                           std::span<const uint32_t> write_in);
+
+    /** Eviction pass on the next reverse-lexicographic path. */
+    serving::Status Evict();
+
+    int64_t BucketOnPath(uint32_t leaf, int64_t level) const;
+    uint32_t NextEvictionLeaf();
+
+    /** Fetch + decrypt the path pages of `leaf` into path_pages_. */
+    serving::Status FetchPath(uint32_t leaf);
+
+    /** All-ones iff block at `block_leaf` may live at `level` of the
+     *  path to `path_leaf` (branchless prefix comparison). */
+    uint64_t CanPlaceMask(uint32_t block_leaf, uint32_t path_leaf,
+                          int64_t level) const;
+
+    /** Oblivious insert into the first free stash slot (mask-gated). */
+    void StashInsertMasked(uint64_t insert_mask, uint64_t id,
+                           uint32_t leaf, const uint32_t* data);
+
+    void RecordPage(int64_t bucket, bool is_write);
+    void RecordStashScan(bool is_write);
+    void RecordMetaScan(int64_t bucket);
+
+    int64_t num_blocks_;
+    int64_t block_words_;
+    int64_t bucket_slots_;  ///< Z
+    int64_t levels_;
+    int64_t num_leaves_;
+    int64_t num_buckets_;
+    int64_t eviction_period_;
+    int64_t stash_capacity_;
+    bool encrypt_;
+    bool loaded_ = false;
+
+    std::unique_ptr<PageCache> cache_;
+    Rng rng_;
+
+    // Client-side (RAM) state.
+    std::vector<uint64_t> slot_id_;    ///< bucket*Z + z -> id or dummy
+    std::vector<uint32_t> slot_leaf_;
+    std::vector<uint64_t> stash_id_;
+    std::vector<uint32_t> stash_leaf_;
+    std::vector<uint32_t> stash_data_;
+    std::vector<uint64_t> bucket_version_;
+    oram::PositionMap posmap_;
+    oram::BucketCipher cipher_;
+    uint64_t evict_counter_ = 0;
+
+    // Reused path scratch: (levels_+1) decrypted pages + bucket indices.
+    std::vector<uint8_t> path_pages_;
+    std::vector<int64_t> path_buckets_;
+
+    sidechannel::TraceRecorder* recorder_;
+    uint64_t pages_trace_base_ = 0;
+    uint64_t stash_trace_base_ = 0;
+    uint64_t meta_trace_base_ = 0;
+
+    RawOramStats stats_;
+};
+
+}  // namespace secemb::store

@@ -11,6 +11,7 @@
 
 #include "core/dhe_generator.h"
 #include "core/hybrid.h"
+#include "core/paged_generators.h"
 #include "core/table_generators.h"
 #include "oblivious/vector_scan.h"
 #include "oram/sqrt_oram.h"
@@ -370,6 +371,8 @@ SubjectName(Subject s)
       case Subject::kSqrtOram: return "sqrt_oram";
       case Subject::kIndexLookup: return "index_lookup";
       case Subject::kProxyOram: return "proxy_oram";
+      case Subject::kPagedScan: return "paged_scan";
+      case Subject::kRawOram: return "raw_oram";
     }
     return "unknown";
 }
@@ -380,7 +383,8 @@ ParseSubject(const std::string& name, Subject* out)
     for (Subject s :
          {Subject::kLinearScan, Subject::kVectorScan, Subject::kDhe,
           Subject::kHybrid, Subject::kTreeOram, Subject::kSqrtOram,
-          Subject::kIndexLookup, Subject::kProxyOram}) {
+          Subject::kIndexLookup, Subject::kProxyOram,
+          Subject::kPagedScan, Subject::kRawOram}) {
         if (name == SubjectName(s)) {
             *out = s;
             return true;
@@ -394,7 +398,7 @@ AllSecureSubjects()
 {
     return {Subject::kLinearScan, Subject::kVectorScan, Subject::kDhe,
             Subject::kHybrid,     Subject::kTreeOram,   Subject::kSqrtOram,
-            Subject::kProxyOram};
+            Subject::kProxyOram,  Subject::kPagedScan,  Subject::kRawOram};
 }
 
 bool
@@ -404,6 +408,7 @@ SubjectIsDeterministic(Subject s)
       case Subject::kTreeOram:
       case Subject::kSqrtOram:
       case Subject::kProxyOram:
+      case Subject::kRawOram:
         return false;
       default:
         return true;
@@ -488,6 +493,34 @@ MakeSubjectFactory(const VerifyConfig& config)
             gen->set_recorder(rec);
             return std::unique_ptr<core::EmbeddingGenerator>(
                 std::move(gen));
+        };
+      case Subject::kPagedScan:
+        return [c](uint64_t seed, sidechannel::TraceRecorder* rec) {
+            // Small pages and a deliberately tight cache so the certified
+            // page schedule is exercised under constant eviction churn.
+            store::StoreConfig sc;
+            sc.backend = store::StoreBackend::kMemory;
+            sc.page_bytes = 128;
+            sc.cache_pages = 4;
+            auto gen = std::make_unique<core::PagedScanTable>(
+                SubjectTable(c, seed), sc);
+            gen->set_nthreads(c.nthreads);
+            gen->set_recorder(rec);
+            return std::unique_ptr<core::EmbeddingGenerator>(
+                std::move(gen));
+        };
+      case Subject::kRawOram:
+        return [c](uint64_t seed, sidechannel::TraceRecorder* rec) {
+            Rng rng(Mix(seed, 0x0c8aULL));
+            store::StoreConfig sc;
+            sc.backend = store::StoreBackend::kMemory;
+            sc.page_bytes = 384;  // Z in [6, 24] over the corpus dims
+            sc.cache_pages = 4;
+            store::RawOramConfig rc;
+            rc.recorder = rec;
+            return std::unique_ptr<core::EmbeddingGenerator>(
+                std::make_unique<core::RawOramTable>(SubjectTable(c, seed),
+                                                     rng, sc, rc));
         };
       case Subject::kProxyOram:
         return [c](uint64_t seed, sidechannel::TraceRecorder* rec) {
@@ -731,7 +764,8 @@ FuzzCorpus(Subject subject, uint64_t seed)
         // Pooled generation goes through a distinct code path for the
         // scan; exercise it on a third of the scan/hybrid configs.
         c.pooled = (subject == Subject::kLinearScan ||
-                    subject == Subject::kHybrid) &&
+                    subject == Subject::kHybrid ||
+                    subject == Subject::kPagedScan) &&
                    i % 3 == 2;
         c.secret_sets = 4;
         c.seed = Mix(seed, 0xc0fU + static_cast<uint64_t>(i));

@@ -53,6 +53,8 @@ enum class Subject
     kSqrtOram,     ///< oram::SqrtOram behind a generator adapter
     kIndexLookup,  ///< non-secure baseline — negative control only
     kProxyOram,    ///< core::ProxiedOramTable — async coalescing proxy
+    kPagedScan,    ///< core::PagedScanTable — out-of-core page-granular scan
+    kRawOram,      ///< core::RawOramTable — page-optimized RAW ORAM
 };
 
 /** CLI name: "scan", "vecscan", "dhe", "hybrid", "tree_oram", ... */
@@ -61,7 +63,7 @@ const char* SubjectName(Subject s);
 /** Parse a SubjectName; returns false on unknown name. */
 bool ParseSubject(const std::string& name, Subject* out);
 
-/** The seven certified kinds (excludes the non-secure control). */
+/** The nine certified kinds (excludes the non-secure control). */
 std::vector<Subject> AllSecureSubjects();
 
 /** True if the subject's trace must be bit-identical across secrets

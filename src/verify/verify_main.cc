@@ -48,7 +48,8 @@ PrintUsage()
         << "secemb-verify: obliviousness certification harness\n\n"
            "  --subjects=a,b,...  comma list of: scan vecscan dhe hybrid\n"
            "                      tree_oram sqrt_oram proxy_oram\n"
-           "                      (default: all seven)\n"
+           "                      paged_scan raw_oram\n"
+           "                      (default: all nine)\n"
            "  --sets=N            secret sets per differential config\n"
            "  --seed=N            fuzz corpus seed (default 1)\n"
            "  --golden-dir=DIR    diff golden traces in DIR as well\n"
