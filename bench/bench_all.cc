@@ -26,6 +26,7 @@
  *   srv01_serving                  serving latency/shed [fewer requests]
  *   oram01_proxy                   ORAM proxy vs serial controller [smaller]
  *   oc01_paged                     out-of-core paged scan / RAW ORAM [smaller]
+ *   oc02_recovery                  durable checkpoint/journal cost [smaller]
  *   ver01_certify_cost             certification harness cost [smaller]
  *   perf01_xcheck                  cache model vs hardware counters
  */
@@ -70,6 +71,8 @@ Tier()
         {"oc01_paged", "", "BENCH_oc01_paged.json", "",
          "--rows 20000 --oram-rows 4096 --batch 8 --batches 2 "
          "--oram-accesses 48"},
+        {"oc02_recovery", "", "BENCH_oc02_recovery.json", "",
+         "--rows 512 --dim 8 --accesses 100"},
         {"ver01_certify_cost", "", "BENCH_ver01_certify_cost.json", "",
          "--rows 64 --dim 8 --batch 4 --sets 2"},
         {"perf01_xcheck", "", "BENCH_perf01_xcheck.json", "", "--reps 3"},

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * oc02: what durability costs the out-of-core RAW ORAM, and what a crash
+ * costs to recover from.
+ *
+ * Four configurations serve the same single-row access stream from a
+ * file-backed RAW ORAM:
+ *
+ *   ckpt_off     durability disabled — the oc01 steady state (baseline)
+ *   ckpt_i256    journal every access, checkpoint every 256 accesses
+ *   ckpt_i64     ... every 64 accesses
+ *   ckpt_i16     ... every 16 accesses
+ *
+ * The journal append (fixed-size record + fsync) is on the access path,
+ * so per-access latency measures the write-ahead tax; the checkpoint is a
+ * public-schedule full sweep, so shrinking the interval trades journal
+ * replay length at recovery against steady-state throughput. After each
+ * durable run the table is torn down as a crash would leave it and
+ * RawOramTable::Recover is timed — recovery cost is reported next to the
+ * journal length it replayed, which is the interval-sweep's other axis.
+ *
+ * Usage:
+ *   oc02_recovery [--rows N] [--dim D] [--accesses A] [--page-bytes P]
+ *                 [--dir PATH] [--json out.json]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util/bench_util.h"
+#include "bench_util/json.h"
+#include "core/paged_generators.h"
+#include "store/backing_store.h"
+#include "store/raw_oram.h"
+#include "tensor/tensor.h"
+
+using namespace secemb;
+
+namespace {
+
+double
+NowNs()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::Args args(argc, argv);
+    const int64_t rows = args.GetInt("--rows", 4096);
+    const int64_t dim = args.GetInt("--dim", 16);
+    // Deliberately not a multiple of the sweep's intervals, so each run
+    // ends mid-interval with a journal tail for recovery to replay.
+    const int accesses = static_cast<int>(args.GetInt("--accesses", 300));
+    const int64_t page_bytes = args.GetInt("--page-bytes", 4096);
+    const std::string dir = args.GetString("--dir", ".");
+    const std::string json_path = args.GetString("--json");
+
+    std::printf("=== oc02: durable RAW ORAM checkpoint/journal cost ===\n");
+    std::printf("%ld x %ld table, %d single-row accesses, %ld B pages\n",
+                rows, dim, accesses, page_bytes);
+
+    Rng table_rng(43);
+    const Tensor table = Tensor::Randn({rows, dim}, table_rng);
+
+    // One id stream shared by every configuration, so the page schedule
+    // differences are purely the durability machinery.
+    Rng id_rng(61);
+    std::vector<int64_t> ids(static_cast<size_t>(accesses));
+    for (int64_t& id : ids) {
+        id = static_cast<int64_t>(
+            id_rng.NextBounded(static_cast<uint64_t>(rows)));
+    }
+
+    bench::BenchReport report("oc02_recovery");
+    bench::TablePrinter printer({"config", "p50 us/access", "rows/s",
+                                 "ckpts", "journal tail", "recover ms"});
+
+    // interval 0 = durability off (the baseline the overhead is against).
+    for (const int64_t interval : {int64_t{0}, int64_t{256}, int64_t{64},
+                                   int64_t{16}}) {
+        const std::string name =
+            interval == 0 ? "ckpt_off"
+                          : "ckpt_i" + std::to_string(interval);
+        const std::string scratch = dir + "/oc02_" + name;
+        std::error_code ec;
+        std::filesystem::remove_all(scratch, ec);
+        std::filesystem::create_directories(scratch, ec);
+        if (ec) {
+            std::fprintf(stderr, "oc02: cannot create %s\n",
+                         scratch.c_str());
+            return 1;
+        }
+
+        store::StoreConfig sc;
+        sc.backend = store::StoreBackend::kFile;
+        sc.path = scratch + "/pages.bin";
+        sc.page_bytes = page_bytes;
+        sc.cache_pages = 64;
+        store::RawOramConfig rc;
+        rc.posmap.enable_recursion = false;
+        if (interval > 0) {
+            rc.durability.dir = scratch;
+            rc.durability.checkpoint_interval = interval;
+        }
+
+        Rng rng(67);
+        Tensor out({1, dim});
+        std::vector<double> access_ns;
+        access_ns.reserve(ids.size());
+        int64_t checkpoints = 0;
+        int64_t journal_tail = 0;
+        double recover_ms = 0.0;
+        uint64_t replayed = 0;
+
+        {
+            core::RawOramTable oram(table, rng, sc, rc);
+            for (const int64_t id : ids) {
+                const std::span<const int64_t> one(&id, 1);
+                const double t0 = NowNs();
+                oram.Generate(one, out);
+                access_ns.push_back(NowNs() - t0);
+            }
+            checkpoints = oram.oram().stats().checkpoints;
+            journal_tail = oram.oram().journal_records();
+            // Torn down without a final checkpoint or sync — exactly the
+            // state a SIGKILL leaves behind.
+        }
+
+        if (interval > 0) {
+            Rng recovery_rng(89);
+            std::unique_ptr<core::RawOramTable> back;
+            const double t0 = NowNs();
+            store::ThrowIfError(core::RawOramTable::Recover(
+                rows, dim, recovery_rng, sc, rc, &back));
+            recover_ms = (NowNs() - t0) * 1e-6;
+            replayed = back->oram().recovery_stats().replayed_accesses;
+        }
+
+        const bench::LatencyStats lat =
+            bench::LatencyStats::FromSamples(access_ns);
+        double total_s = 0.0;
+        for (const double ns : access_ns) total_s += ns * 1e-9;
+        const double rows_per_sec =
+            static_cast<double>(accesses) / std::max(total_s, 1e-12);
+
+        printer.AddRow(
+            {name, bench::TablePrinter::Num(lat.p50_ns * 1e-3, 1),
+             bench::TablePrinter::Num(rows_per_sec, 0),
+             std::to_string(checkpoints), std::to_string(journal_tail),
+             interval > 0 ? bench::TablePrinter::Num(recover_ms, 2)
+                          : "-"});
+
+        auto& res = report.AddResult(name);
+        res.num_params.emplace_back("rows", static_cast<double>(rows));
+        res.num_params.emplace_back("dim", static_cast<double>(dim));
+        res.num_params.emplace_back("accesses",
+                                    static_cast<double>(accesses));
+        res.num_params.emplace_back("checkpoint_interval",
+                                    static_cast<double>(interval));
+        res.num_params.emplace_back("rows_per_sec", rows_per_sec);
+        res.num_params.emplace_back("checkpoints",
+                                    static_cast<double>(checkpoints));
+        res.num_params.emplace_back("journal_tail",
+                                    static_cast<double>(journal_tail));
+        if (interval > 0) {
+            res.num_params.emplace_back("recover_ms", recover_ms);
+            res.num_params.emplace_back(
+                "replayed_accesses", static_cast<double>(replayed));
+        }
+        res.latency = lat;
+
+        std::filesystem::remove_all(scratch, ec);
+    }
+
+    printer.Print();
+
+    if (!json_path.empty() && !report.WriteTo(json_path)) {
+        std::fprintf(stderr, "oc02: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -4,8 +4,8 @@
 #
 # Builds the bench tier and runs secemb-bench-all: every --json-capable
 # benchmark in the tier (gemm_kernel, micro_primitives, srv01_serving,
-# oram01_proxy, ver01_certify_cost, perf01_xcheck) runs once, the
-# per-binary reports are
+# oram01_proxy, oc01_paged, oc02_recovery, ver01_certify_cost,
+# perf01_xcheck) runs once, the per-binary reports are
 # merged into a machine-annotated BENCH_summary.json, and — when a
 # baseline summary exists — the new summary is gated against it (fail on
 # any shared result >GATE slower).
@@ -45,7 +45,7 @@ if [[ "${SKIP_BUILD}" -eq 0 ]]; then
     cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
     cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
         secemb-bench-all micro_primitives srv01_serving oram01_proxy \
-        ver01_certify_cost perf01_xcheck
+        oc01_paged oc02_recovery ver01_certify_cost perf01_xcheck
 fi
 
 ARGS=(--outdir "${OUTDIR}" --gate "${GATE}")

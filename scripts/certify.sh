@@ -53,7 +53,9 @@ env -u SECEMB_ISA ctest --test-dir "${BUILD_DIR}" -L kernels \
     --output-on-failure
 
 echo "== Full certification sweep (secemb-verify, seed ${SEED}) =="
-"${BUILD_DIR}/src/verify/secemb-verify" --seed="${SEED}" \
+# --recovered adds the durable-tier arm: crash-recovered RAW ORAM
+# instances must certify exactly like fresh ones.
+"${BUILD_DIR}/src/verify/secemb-verify" --seed="${SEED}" --recovered \
     --json="${BUILD_DIR}/certify_report.json"
 echo "report: ${BUILD_DIR}/certify_report.json"
 

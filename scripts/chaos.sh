@@ -11,6 +11,12 @@
 # the ORAM proxy conductor/pool pipeline and the packed-weight cache
 # stress tests are only meaningfully raced there.
 #
+# Between the two, a crash drill: the kill-based crash harness (forked
+# children SIGKILLed at seeded points inside the durable RAW ORAM's
+# journal/checkpoint/eviction machinery, recovered and audited in the
+# parent) runs under ASan, and secemb-verify certifies the recovered
+# instances' access patterns against fresh ones.
+#
 # Every fault decision is a pure function of (plan seed, site, hit
 # ordinal), so a failing chaos case replays exactly from its seed — there
 # are no coin flips to chase.
@@ -36,19 +42,26 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-echo "== [1/2] Build + robustness suite (ctest -L robustness) =="
+echo "== [1/3] Build + robustness suite (ctest -L robustness) =="
 cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j"$(nproc)"
 ctest --test-dir "${BUILD_DIR}" -L robustness --output-on-failure \
     --timeout 300
 
+echo "== [2/3] Crash drill: recovered-instance certification =="
+# The kill-based harness itself ran in the robustness label above (and
+# re-runs under sanitizers below); here the verify harness certifies that
+# crash-recovered durable instances are indistinguishable from fresh ones
+# and that the sparse negative control stays rejected.
+"${BUILD_DIR}/src/verify/secemb-verify" --subjects=raw_oram --recovered
+
 if [[ "${SKIP_SANITIZERS}" -eq 1 ]]; then
-    echo "== [2/2] Sanitizer passes skipped (--skip-sanitizers) =="
+    echo "== [3/3] Sanitizer passes skipped (--skip-sanitizers) =="
     echo "CHAOS GATE PASSED (unsanitized)"
     exit 0
 fi
 
-echo "== [2/2] Sanitizer passes: ${SANITIZERS} =="
+echo "== [3/3] Sanitizer passes: ${SANITIZERS} =="
 for SAN in ${SANITIZERS}; do
     SAN_BUILD_DIR="${REPO_ROOT}/build-${SAN}"
     echo "-- ${SAN}: configure + build --"
@@ -57,7 +70,8 @@ for SAN in ${SANITIZERS}; do
     cmake --build "${SAN_BUILD_DIR}" -j"$(nproc)" \
         --target serving_test chaos_test serving_verify_test \
         parallel_pool_test oram_proxy_test proxy_verify_test \
-        kernel_cache_stress_test
+        kernel_cache_stress_test store_chaos_test durable_store_test \
+        crash_harness_test page_cache_test
     echo "-- ${SAN}: ctest -L robustness --"
     ctest --test-dir "${SAN_BUILD_DIR}" -L robustness \
         --output-on-failure --timeout 600

@@ -94,6 +94,18 @@ class EmbeddingGenerator
      * generators override. serving::Server calls this on shutdown.
      */
     virtual serving::Status SyncStorage() { return serving::Status::Ok(); }
+
+    /**
+     * Seal a durable checkpoint of any crash-consistent storage this
+     * generator owns (RAW ORAM checkpoint + journal reset; a paged scan
+     * table syncs its pages). No-op Ok for generators without durable
+     * state. serving::Server calls this on its background checkpoint
+     * interval.
+     */
+    virtual serving::Status CheckpointStorage()
+    {
+        return serving::Status::Ok();
+    }
 };
 
 }  // namespace secemb::core

@@ -87,6 +87,13 @@ MakeGenerator(GenKind kind, int64_t table_size, int64_t dim, Rng& rng,
       case GenKind::kPagedScan: {
         const store::StoreConfig sc =
             opt.store ? *opt.store : store::StoreConfig{};
+        if (opt.recover_storage) {
+            std::unique_ptr<PagedScanTable> g;
+            store::ThrowIfError(
+                PagedScanTable::Recover(table_size, dim, sc, &g));
+            g->set_nthreads(opt.nthreads);
+            return g;
+        }
         const Tensor t = table();
         auto g = std::make_unique<PagedScanTable>(t, sc);
         g->set_nthreads(opt.nthreads);
@@ -97,6 +104,18 @@ MakeGenerator(GenKind kind, int64_t table_size, int64_t dim, Rng& rng,
             opt.store ? *opt.store : store::StoreConfig{};
         store::RawOramConfig rc;
         if (opt.oram_params != nullptr) rc.posmap = *opt.oram_params;
+        if (opt.durability != nullptr) {
+            rc.durability = *opt.durability;
+            // Checkpoints serialize the leaf table directly, which
+            // needs the flat (non-recursive) representation.
+            rc.posmap.enable_recursion = false;
+        }
+        if (opt.recover_storage) {
+            std::unique_ptr<RawOramTable> g;
+            store::ThrowIfError(
+                RawOramTable::Recover(table_size, dim, rng, sc, rc, &g));
+            return g;
+        }
         const Tensor t = table();
         return std::make_unique<RawOramTable>(t, rng, sc, rc);
       }

@@ -14,6 +14,7 @@
 #include "core/hybrid.h"
 #include "oram/params.h"
 #include "store/backing_store.h"
+#include "store/durable.h"
 #include "tensor/rng.h"
 
 namespace secemb::core {
@@ -53,6 +54,18 @@ struct GeneratorOptions
     /** Backing-store configuration for the out-of-core kinds (nullptr:
      *  in-memory store with StoreConfig defaults). */
     const store::StoreConfig* store = nullptr;
+    /** Crash-consistency configuration for kRawOram (nullptr: off).
+     *  Requires a file-backed `store`; recursion is disabled on the
+     *  position map automatically (checkpoints snapshot a flat map). */
+    const store::DurabilityConfig* durability = nullptr;
+    /**
+     * Reattach to existing on-disk state instead of creating it: the
+     * paged kinds open their stores with create=false and, for durable
+     * kRawOram, replay checkpoint + journal (RawOram::Recover). The
+     * factory throws store::StoreError with the recovery path's typed
+     * status on failure — recover-before-serve must fail closed.
+     */
+    bool recover_storage = false;
     /**
      * Pre-trained weights. If table is non-null it seeds the table-based
      * kinds; if dhe is non-null it seeds the DHE/hybrid kinds. When null,

@@ -13,6 +13,20 @@ PagedScanTable::PagedScanTable(const Tensor& table,
 {
 }
 
+serving::Status
+PagedScanTable::Recover(int64_t rows, int64_t dim,
+                        const store::StoreConfig& config,
+                        std::unique_ptr<PagedScanTable>* out)
+{
+    std::unique_ptr<store::PagedTable> table;
+    if (auto s = store::PagedTable::Recover(rows, dim, config, &table);
+        !s.ok()) {
+        return s;
+    }
+    out->reset(new PagedScanTable(std::move(table)));
+    return serving::Status::Ok();
+}
+
 void
 PagedScanTable::Generate(std::span<const int64_t> indices, Tensor& out)
 {
@@ -51,6 +65,35 @@ RawOramTable::RawOramTable(const Tensor& table, Rng& rng,
     std::vector<uint32_t> words(static_cast<size_t>(rows_ * dim_));
     std::memcpy(words.data(), table.data(), words.size() * sizeof(float));
     store::ThrowIfError(oram_->BulkLoad(words));
+}
+
+serving::Status
+RawOramTable::Recover(int64_t rows, int64_t dim, Rng& rng,
+                      const store::StoreConfig& store_config,
+                      const store::RawOramConfig& oram_config,
+                      std::unique_ptr<RawOramTable>* out)
+{
+    int64_t pages = 0;
+    try {
+        pages = store::RawOram::PagesNeeded(rows, dim,
+                                            store_config.page_bytes);
+    } catch (const store::StoreError& e) {
+        return e.status();
+    }
+    store::StoreConfig open = store_config;
+    open.create = false;  // reattach; the header validates geometry
+    std::unique_ptr<store::PageCache> cache;
+    if (auto s = store::MakePageCache(open, pages, &cache); !s.ok()) {
+        return s;
+    }
+    std::unique_ptr<store::RawOram> oram;
+    if (auto s = store::RawOram::Recover(rows, dim, std::move(cache), rng,
+                                         oram_config, &oram);
+        !s.ok()) {
+        return s;
+    }
+    out->reset(new RawOramTable(rows, dim, std::move(oram)));
+    return serving::Status::Ok();
 }
 
 void
@@ -116,6 +159,15 @@ ProxiedRawOramTable::SyncStorage()
 {
     proxy_->Flush();
     return oram_->Sync();
+}
+
+serving::Status
+ProxiedRawOramTable::CheckpointStorage()
+{
+    // The conductor must be idle while the checkpoint serializes the
+    // client state; Flush() drains the queue and parks it.
+    proxy_->Flush();
+    return oram_->Checkpoint();
 }
 
 }  // namespace secemb::core

@@ -35,6 +35,15 @@ class PagedScanTable : public EmbeddingGenerator
      *  Throws store::StoreError on store creation/upload failure. */
     PagedScanTable(const Tensor& table, const store::StoreConfig& config);
 
+    /**
+     * Reattach to an existing on-disk table (store::PagedTable::Recover):
+     * the store header validates geometry, no upload happens. Use after a
+     * crash or restart when `config.path` already holds the table.
+     */
+    static serving::Status Recover(int64_t rows, int64_t dim,
+                                   const store::StoreConfig& config,
+                                   std::unique_ptr<PagedScanTable>* out);
+
     void Generate(std::span<const int64_t> indices, Tensor& out) override;
     void GeneratePooled(std::span<const int64_t> indices,
                         std::span<const int64_t> offsets,
@@ -55,10 +64,18 @@ class PagedScanTable : public EmbeddingGenerator
 
     /** Flush dirty cache frames and sync the store durably. */
     serving::Status SyncStorage() override { return table_.Sync(); }
+    /** The scan table's durable state IS its pages: checkpoint = sync. */
+    serving::Status CheckpointStorage() override { return table_.Sync(); }
 
     store::PagedTable& paged() { return table_; }
 
   private:
+    /** For Recover(). */
+    explicit PagedScanTable(std::unique_ptr<store::PagedTable> table)
+        : table_(std::move(*table))
+    {
+    }
+
     store::PagedTable table_;
     int nthreads_ = 1;
 };
@@ -82,6 +99,18 @@ class RawOramTable : public EmbeddingGenerator
                  const store::StoreConfig& store_config,
                  const store::RawOramConfig& oram_config = {});
 
+    /**
+     * Reopen a crashed durable RAW ORAM table (store::RawOram::Recover):
+     * `store_config.path` must hold the page file and
+     * `oram_config.durability.dir` the checkpoint + journal. Fails
+     * closed with the recovery path's typed errors; on success the
+     * table serves exactly the acknowledged pre-crash state.
+     */
+    static serving::Status Recover(int64_t rows, int64_t dim, Rng& rng,
+                                   const store::StoreConfig& store_config,
+                                   const store::RawOramConfig& oram_config,
+                                   std::unique_ptr<RawOramTable>* out);
+
     void Generate(std::span<const int64_t> indices, Tensor& out) override;
     int64_t dim() const override { return dim_; }
     int64_t num_rows() const override { return rows_; }
@@ -94,10 +123,22 @@ class RawOramTable : public EmbeddingGenerator
 
     /** Flush dirty cache frames and sync the store durably. */
     serving::Status SyncStorage() override { return oram_->Sync(); }
+    /** Seal a checkpoint + reset the journal (Ok no-op if not durable). */
+    serving::Status CheckpointStorage() override
+    {
+        return oram_->Checkpoint();
+    }
 
     store::RawOram& oram() { return *oram_; }
 
   private:
+    /** For Recover(). */
+    RawOramTable(int64_t rows, int64_t dim,
+                 std::unique_ptr<store::RawOram> oram)
+        : rows_(rows), dim_(dim), oram_(std::move(oram))
+    {
+    }
+
     int64_t rows_;
     int64_t dim_;
     std::unique_ptr<store::RawOram> oram_;
@@ -129,6 +170,9 @@ class ProxiedRawOramTable : public EmbeddingGenerator
 
     /** Quiesce the proxy, then flush + sync the store durably. */
     serving::Status SyncStorage() override;
+
+    /** Quiesce the proxy, then seal a durable checkpoint. */
+    serving::Status CheckpointStorage() override;
 
     /** Route the proxy's lifecycle hops into a serving flight recorder. */
     void set_flight(serving::FlightRecorder* flight)

@@ -145,6 +145,38 @@ PositionMap::Depth() const
     return 1;
 }
 
+serving::Status
+PositionMap::SnapshotLeaves(std::vector<uint32_t>* out) const
+{
+    if (child_) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "posmap snapshot requires a flat map (disable recursion for "
+            "durable configurations)");
+    }
+    *out = flat_;
+    return serving::Status::Ok();
+}
+
+serving::Status
+PositionMap::RestoreLeaves(const std::vector<uint32_t>& leaves)
+{
+    if (child_) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "posmap restore requires a flat map");
+    }
+    if (leaves.size() != flat_.size()) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "posmap restore: leaf table has " +
+                std::to_string(leaves.size()) + " entries, map holds " +
+                std::to_string(flat_.size()));
+    }
+    flat_ = leaves;
+    return serving::Status::Ok();
+}
+
 // ---------------------------------------------------------------------------
 // TreeOram: construction
 // ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@
 
 #include "oram/crypto.h"
 #include "oram/params.h"
+#include "serving/status.h"
 #include "tensor/rng.h"
 
 namespace secemb::oram {
@@ -72,6 +73,15 @@ class PositionMap
     bool recursive() const { return child_ != nullptr; }
     /** Recursion depth below this map (0 for a flat map). */
     int Depth() const;
+
+    /**
+     * Copy of the current leaf of every id, for checkpointing. Flat maps
+     * only (durable configurations disable posmap recursion); a recursive
+     * map returns kInvalidArgument and leaves `out` untouched.
+     */
+    serving::Status SnapshotLeaves(std::vector<uint32_t>* out) const;
+    /** Replace the full leaf table from a checkpoint (flat maps only). */
+    serving::Status RestoreLeaves(const std::vector<uint32_t>& leaves);
 
   private:
     /** The async proxy (src/oram/proxy) re-implements the flat-map scan

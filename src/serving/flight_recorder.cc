@@ -102,6 +102,8 @@ FlightHopName(FlightHop hop)
         case FlightHop::kProxyEvict: return "proxy_evict";
         case FlightHop::kStoreFetch: return "store_fetch";
         case FlightHop::kStoreWriteback: return "store_writeback";
+        case FlightHop::kStoreCheckpoint: return "store_checkpoint";
+        case FlightHop::kStoreRecover: return "store_recover";
     }
     return "unknown";
 }

@@ -60,6 +60,8 @@ enum class FlightHop : uint8_t
     // (a public value: the paged schedules are certified input-independent).
     kStoreFetch,         ///< page cache miss fetched from the backing store
     kStoreWriteback,     ///< dirty page written back to the backing store
+    kStoreCheckpoint,    ///< durable checkpoint sealed (detail: KiB written)
+    kStoreRecover,       ///< recovery replay finished (detail: records)
 };
 
 /** Stable name for JSON / debugging ("enqueue", "shed", ...). */

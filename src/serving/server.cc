@@ -217,12 +217,23 @@ Server::BatcherLoop()
 {
     using PopResult =
         BoundedQueue<Pending, fault::FaultAllocator<Pending>>::PopResult;
+    if (config_.storage_sync_interval_us > 0) {
+        next_storage_sync_ns_ =
+            NowNs() + config_.storage_sync_interval_us * 1000;
+    }
+    if (config_.storage_checkpoint_interval_us > 0) {
+        next_storage_ckpt_ns_ =
+            NowNs() + config_.storage_checkpoint_interval_us * 1000;
+    }
     std::vector<Pending> batch;
     for (;;) {
         Pending first;
         const PopResult r = queue_.PopWait(&first, kIdleWaitNs);
         if (r == PopResult::kDrained) break;
-        if (r == PopResult::kTimeout) continue;
+        if (r == PopResult::kTimeout) {
+            MaybeRunStorageMaintenance();
+            continue;
+        }
 
         batch.clear();
         batch.push_back(std::move(first));
@@ -254,6 +265,51 @@ Server::BatcherLoop()
                       static_cast<uint32_t>(batch.size()));
         }
         ServeBatch(batch);
+        // Between batches the generators are quiescent (this thread is
+        // their only caller), so durable maintenance races nothing.
+        MaybeRunStorageMaintenance();
+    }
+}
+
+void
+Server::MaybeRunStorageMaintenance()
+{
+    // Clock-driven public schedule: the decision reads only the time
+    // source, never request values, so the extra store IO it causes is
+    // independent of any secret and stays off the canonical trace (only
+    // generation attempts record into the verify sinks).
+    const uint64_t now = NowNs();
+    if (next_storage_sync_ns_ != 0 && now >= next_storage_sync_ns_) {
+        for (size_t f = 0; f < features_.size(); ++f) {
+            const Status s = features_[f]->SyncStorage();
+            if (!s.ok()) {
+                storage_sync_failures_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                TELEMETRY_COUNT("serving.storage_sync_failures", 1);
+                RecordHop(0, FlightHop::kStoreWriteback, s.code,
+                          static_cast<int>(f), degrade_level(), 0);
+            }
+        }
+        storage_syncs_.fetch_add(1, std::memory_order_relaxed);
+        TELEMETRY_COUNT("serving.storage_syncs", 1);
+        next_storage_sync_ns_ =
+            now + config_.storage_sync_interval_us * 1000;
+    }
+    if (next_storage_ckpt_ns_ != 0 && now >= next_storage_ckpt_ns_) {
+        for (size_t f = 0; f < features_.size(); ++f) {
+            const Status s = features_[f]->CheckpointStorage();
+            if (!s.ok()) {
+                storage_checkpoint_failures_.fetch_add(
+                    1, std::memory_order_relaxed);
+                TELEMETRY_COUNT("serving.storage_checkpoint_failures", 1);
+                RecordHop(0, FlightHop::kStoreCheckpoint, s.code,
+                          static_cast<int>(f), degrade_level(), 0);
+            }
+        }
+        storage_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+        TELEMETRY_COUNT("serving.storage_checkpoints", 1);
+        next_storage_ckpt_ns_ =
+            now + config_.storage_checkpoint_interval_us * 1000;
     }
 }
 
@@ -584,6 +640,11 @@ Server::GetStats() const
     s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
     s.storage_sync_failures =
         storage_sync_failures_.load(std::memory_order_relaxed);
+    s.storage_syncs = storage_syncs_.load(std::memory_order_relaxed);
+    s.storage_checkpoints =
+        storage_checkpoints_.load(std::memory_order_relaxed);
+    s.storage_checkpoint_failures =
+        storage_checkpoint_failures_.load(std::memory_order_relaxed);
     s.degrade_level = degrade_level_.load(std::memory_order_relaxed);
     s.queue_depth = queue_.size();
     if (flight_ != nullptr) {

@@ -97,6 +97,17 @@ struct ServerConfig
     /// exits. Failures are counted (ServerStats::storage_sync_failures)
     /// and recorded as store_writeback flight hops with the error code.
     bool sync_storage_on_shutdown = true;
+    /// Periodic SyncStorage() across all generators, driven off the
+    /// batcher thread between batches (generators are quiescent there).
+    /// 0 disables. The schedule is clock-driven and public — it never
+    /// depends on request values, so periodic flushes are trace-safe.
+    uint64_t storage_sync_interval_us = 0;
+    /// Periodic CheckpointStorage() across all generators (durable RAW
+    /// ORAM seals a checkpoint + resets its journal; others sync or
+    /// no-op). 0 disables. Failures are counted
+    /// (ServerStats::storage_checkpoint_failures) and recorded as
+    /// store_checkpoint flight hops; the server keeps serving.
+    uint64_t storage_checkpoint_interval_us = 0;
 };
 
 struct Request
@@ -141,8 +152,14 @@ struct ServerStats
     uint64_t retries = 0;
     uint64_t batches = 0;
     uint64_t degraded_batches = 0;
-    /// Generators whose SyncStorage() failed during Shutdown.
+    /// Generators whose SyncStorage() failed (shutdown or periodic).
     uint64_t storage_sync_failures = 0;
+    /// Completed periodic SyncStorage sweeps (all features).
+    uint64_t storage_syncs = 0;
+    /// Completed periodic CheckpointStorage sweeps (all features).
+    uint64_t storage_checkpoints = 0;
+    /// Generators whose periodic CheckpointStorage() failed.
+    uint64_t storage_checkpoint_failures = 0;
     int degrade_level = 0;
     size_t queue_depth = 0;
     /// Flight-recorder occupancy: total lifecycle events recorded and
@@ -233,6 +250,9 @@ class Server
     void RecordHop(uint64_t id, FlightHop hop, StatusCode code,
                    int feature, int degrade, uint32_t detail);
     void UpdateDegrade(bool batch_had_faults);
+    /** Run any due periodic storage sync/checkpoint sweeps. Batcher
+     *  thread only — generators must be quiescent. */
+    void MaybeRunStorageMaintenance();
     int BatchCeiling(int degrade) const;
     uint64_t NowNs() const { return clock_->NowNs(); }
 
@@ -255,6 +275,10 @@ class Server
     int fault_streak_ = 0;
     int calm_batches_ = 0;
 
+    // Storage-maintenance due times (batcher thread only; 0 = disabled).
+    uint64_t next_storage_sync_ns_ = 0;
+    uint64_t next_storage_ckpt_ns_ = 0;
+
     // Counters (relaxed atomics; exact totals once quiesced).
     mutable std::atomic<uint64_t> submitted_{0};
     mutable std::atomic<uint64_t> accepted_{0};
@@ -267,6 +291,9 @@ class Server
     mutable std::atomic<uint64_t> batches_{0};
     mutable std::atomic<uint64_t> degraded_batches_{0};
     mutable std::atomic<uint64_t> storage_sync_failures_{0};
+    mutable std::atomic<uint64_t> storage_syncs_{0};
+    mutable std::atomic<uint64_t> storage_checkpoints_{0};
+    mutable std::atomic<uint64_t> storage_checkpoint_failures_{0};
 };
 
 }  // namespace secemb::serving

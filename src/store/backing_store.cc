@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "store/durable.h"
 #include "telemetry/telemetry.h"
 
 namespace secemb::store {
@@ -145,7 +146,13 @@ class FileStoreBase : public BackingStore
             return Errno(serving::StatusCode::kInternal,
                          "open " + path_);
         }
-        if (create) return InitialiseFile();
+        if (create) {
+            if (auto s = InitialiseFile(); !s.ok()) return s;
+            // The new directory entry must itself be durable: without
+            // this, a freshly created table can vanish after a crash
+            // even though Sync() on the file succeeded.
+            return FsyncParentDir(path_);
+        }
         return LoadHeader();
     }
 

@@ -41,6 +41,38 @@ PagedTable::PagedTable(const float* data, int64_t rows, int64_t dim,
     }
 }
 
+serving::Status
+PagedTable::Recover(int64_t rows, int64_t dim, const StoreConfig& config,
+                    std::unique_ptr<PagedTable>* out)
+{
+    const int64_t row_bytes = dim * static_cast<int64_t>(sizeof(float));
+    if (rows <= 0 || dim <= 0 || config.page_bytes < row_bytes) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "paged table recover: page_bytes " +
+                std::to_string(config.page_bytes) +
+                " cannot hold one row of dim " + std::to_string(dim));
+    }
+    auto table = std::unique_ptr<PagedTable>(new PagedTable());
+    table->rows_ = rows;
+    table->dim_ = dim;
+    table->rows_per_page_ = config.page_bytes / row_bytes;
+    table->num_pages_ =
+        (rows + table->rows_per_page_ - 1) / table->rows_per_page_;
+    StoreConfig open = config;
+    open.create = false;  // the store header rejects wrong geometry
+    if (auto s = MakePageCache(open, table->num_pages_, &table->cache_);
+        !s.ok()) {
+        return s;
+    }
+    table->trace_base_ = sidechannel::ProcessAddressSpace().Reserve(
+        static_cast<uint64_t>(table->num_pages_ *
+                              table->cache_->page_bytes()),
+        4096, "store.scan.pages");
+    *out = std::move(table);
+    return serving::Status::Ok();
+}
+
 void
 PagedTable::BlendPage(const float* page_rows, int64_t first_row,
                       int64_t rows_in_page,

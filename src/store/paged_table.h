@@ -40,6 +40,18 @@ class PagedTable
     PagedTable(const float* data, int64_t rows, int64_t dim,
                const StoreConfig& config);
 
+    /**
+     * Reattach to an existing on-disk table after a crash or restart:
+     * opens the store with create=false (the header validates page size
+     * and page count, so a geometry mismatch fails closed) and skips the
+     * upload. The scan table keeps no client-side state beyond its
+     * pages, so recovery is pure reattachment — the paged CRC table
+     * catches torn page writes on first touch.
+     */
+    static serving::Status Recover(int64_t rows, int64_t dim,
+                                   const StoreConfig& config,
+                                   std::unique_ptr<PagedTable>* out);
+
     int64_t rows() const { return rows_; }
     int64_t dim() const { return dim_; }
     int64_t rows_per_page() const { return rows_per_page_; }
@@ -97,6 +109,9 @@ class PagedTable
     }
 
   private:
+    /** For Recover(), which fills every field itself. */
+    PagedTable() = default;
+
     /** Blend rows of one fetched page into the batch slots of [b0, b1). */
     void BlendPage(const float* page_rows, int64_t first_row,
                    int64_t rows_in_page,
@@ -110,10 +125,10 @@ class PagedTable
                         std::span<const int64_t> offsets, int64_t b0,
                         int64_t b1, float* out) const;
 
-    int64_t rows_;
-    int64_t dim_;
-    int64_t rows_per_page_;
-    int64_t num_pages_;
+    int64_t rows_ = 0;
+    int64_t dim_ = 0;
+    int64_t rows_per_page_ = 0;
+    int64_t num_pages_ = 0;
     std::unique_ptr<PageCache> cache_;
     sidechannel::TraceRecorder* recorder_ = nullptr;
     uint64_t trace_base_ = 0;

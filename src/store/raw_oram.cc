@@ -92,7 +92,9 @@ RawOram::RawOram(int64_t num_blocks, int64_t block_words,
       posmap_(oram::OramKind::kPath, num_blocks,
               static_cast<uint32_t>(num_leaves_), rng,
               PosmapParams(config)),
-      cipher_(rng.Next()),
+      cipher_seed_(rng.Next()),
+      cipher_(cipher_seed_),
+      durability_(config.durability),
       recorder_(config.recorder)
 {
     if (cache_->num_pages() < num_buckets_) {
@@ -126,6 +128,47 @@ RawOram::RawOram(int64_t num_blocks, int64_t block_words,
     meta_trace_base_ = space.Reserve(
         static_cast<uint64_t>(num_buckets_ * bucket_slots_ * 16), 64,
         "store.raworam.meta");
+
+    if (durability_.enabled()) {
+        if (posmap_.recursive()) {
+            throw StoreError(serving::Status::Error(
+                serving::StatusCode::kInvalidArgument,
+                "raw oram durability requires a flat position map "
+                "(set posmap.enable_recursion = false)"));
+        }
+        ckpt_path_ = durability_.dir + "/ckpt.bin";
+        journal_path_ = durability_.dir + "/journal.bin";
+        CheckpointData g;
+        g.num_blocks = num_blocks_;
+        g.block_words = block_words_;
+        g.bucket_slots = bucket_slots_;
+        g.levels = levels_;
+        g.stash_capacity = stash_capacity_;
+        g.eviction_period = eviction_period_;
+        geometry_hash_ = DurableGeometryHash(g);
+        // The durable IO schedule is part of the observable trace: the
+        // checkpoint region is one fixed-size record, the journal region
+        // is bounded by journal_limit records of the (public) per-type
+        // maximum size. Offsets within the journal region are the public
+        // byte cursor since the last reset.
+        const int64_t ckpt_bytes = CheckpointSerializedBytes(
+            num_blocks_, block_words_, bucket_slots_, levels_,
+            stash_capacity_);
+        const int64_t max_record = std::max(
+            JournalRecordBytes(JournalAccessPayloadBytes(block_words_)),
+            JournalRecordBytes(JournalEvictPayloadBytes(
+                (levels_ + 1) * bucket_slots_, block_words_)));
+        ckpt_trace_base_ = space.Reserve(
+            static_cast<uint64_t>(ckpt_bytes), 4096, "store.ckpt.state");
+        // +1: an eviction record may ride after the access record that
+        // reached the limit, before the auto-checkpoint fires.
+        journal_trace_base_ = space.Reserve(
+            static_cast<uint64_t>(
+                JournalFileHeaderBytes() +
+                (std::max<int64_t>(1, durability_.journal_limit) + 1) *
+                    max_record),
+            4096, "store.ckpt.journal");
+    }
 }
 
 int64_t
@@ -269,6 +312,9 @@ RawOram::BulkLoad(std::span<const uint32_t> data)
         if (auto s = cache_->WritePage(b, page); !s.ok()) return s;
     }
     loaded_ = true;
+    // Durable instances seal checkpoint #0 now so recovery always has a
+    // base state (bulk load itself is re-runnable, never journaled).
+    if (durability_.enabled()) return InitDurability();
     return serving::Status::Ok();
 }
 
@@ -389,20 +435,43 @@ RawOram::Access(int64_t id, Op op, std::span<uint32_t> read_out,
                     static_cast<size_t>(block_words_) * sizeof(uint32_t));
     }
 
+    // The ack point: the delta is durable before the caller sees Ok.
+    // (The payload is journaled for reads too — a RAW read invalidates
+    // the on-disk slot and the block then lives only in the RAM stash.)
+    if (durability_.enabled()) {
+        if (auto s = AppendAccessRecord(uid, new_leaf, op, block.data());
+            !s.ok()) {
+            return s;
+        }
+    }
+
     stats_.accesses++;
     stats_.stash_peak = std::max(stats_.stash_peak, StashOccupancy());
-    if (stats_.accesses % eviction_period_ == 0) return Evict();
-    return serving::Status::Ok();
+    if (stats_.accesses % eviction_period_ == 0) {
+        if (auto s = Evict(); !s.ok()) return s;
+    }
+    return MaybeAutoCheckpoint();
 }
 
 serving::Status
 RawOram::Evict()
 {
     TELEMETRY_SPAN("store.raw_oram.evict");
+    const uint64_t counter_before = evict_counter_;
     const uint32_t leaf = NextEvictionLeaf();
     if (auto s = FetchPath(leaf); !s.ok()) return s;
     const int64_t page_bytes = cache_->page_bytes();
-    const int64_t page_words = bucket_slots_ * block_words_;
+
+    // Journal the decrypted path pre-image BEFORE any mutation or page
+    // write: replay re-executes phase 1 from the record and phase 2
+    // deterministically, so a crash at any point mid-write-back recovers
+    // by rewriting the whole path.
+    if (durability_.enabled()) {
+        if (auto s = AppendEvictRecord(counter_before, leaf); !s.ok()) {
+            return s;
+        }
+        MaybeCrash(CrashSite::kEvictAfterJournal);
+    }
 
     // Phase 1: pull every real path block into the stash (mask-gated
     // insert per slot; dummies insert nothing but cost the same scan).
@@ -423,8 +492,20 @@ RawOram::Evict()
     }
     stats_.stash_peak = std::max(stats_.stash_peak, StashOccupancy());
 
+    if (auto s = RepackAndWriteBack(leaf); !s.ok()) return s;
+    stats_.evictions++;
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::RepackAndWriteBack(uint32_t leaf)
+{
+    const int64_t page_bytes = cache_->page_bytes();
+    const int64_t page_words = bucket_slots_ * block_words_;
     // Phase 2: greedy deepest-first repack with constant-time selects,
     // then re-encrypt under a fresh version and write the page back.
+    // Never reads the fetched page content (pages are rebuilt from the
+    // stash), which is what lets journal replay re-run it idempotently.
     for (int64_t level = levels_; level >= 0; --level) {
         const int64_t b = path_buckets_[static_cast<size_t>(level)];
         RecordMetaScan(b);
@@ -466,8 +547,8 @@ RawOram::Evict()
                                      static_cast<size_t>(page_bytes)};
         if (auto s = cache_->WritePage(b, src); !s.ok()) return s;
         stats_.page_writes++;
+        MaybeCrash(CrashSite::kEvictMidPages);
     }
-    stats_.evictions++;
     return serving::Status::Ok();
 }
 
@@ -491,6 +572,482 @@ RawOram::Write(int64_t id, std::span<const uint32_t> in)
             "raw oram write: bad block buffer size");
     }
     return Access(id, Op::kWrite, {}, in);
+}
+
+// ---------------------------------------------------------------------------
+// Durability: checkpoint, journal, recovery replay
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+AppendU32(std::vector<uint8_t>* out, uint32_t v)
+{
+    const size_t n = out->size();
+    out->resize(n + sizeof(v));
+    std::memcpy(out->data() + n, &v, sizeof(v));
+}
+
+void
+AppendU64(std::vector<uint8_t>* out, uint64_t v)
+{
+    const size_t n = out->size();
+    out->resize(n + sizeof(v));
+    std::memcpy(out->data() + n, &v, sizeof(v));
+}
+
+uint32_t
+TakeU32(const uint8_t* p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint64_t
+TakeU64(const uint8_t* p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+}  // namespace
+
+serving::Status
+RawOram::InitDurability()
+{
+    return Checkpoint();
+}
+
+void
+RawOram::RecordJournalAppend(int64_t record_bytes)
+{
+    if (recorder_ != nullptr) {
+        // journal_.bytes() already includes this record; the write
+        // started at the (public) cursor before it.
+        recorder_->Record(
+            journal_trace_base_ +
+                static_cast<uint64_t>(JournalFileHeaderBytes() +
+                                      journal_.bytes() - record_bytes),
+            static_cast<uint32_t>(record_bytes), true);
+    }
+}
+
+void
+RawOram::RecordCheckpointWrite(int64_t bytes)
+{
+    if (recorder_ == nullptr) return;
+    // The serializer's stash sweep is modelled at slot granularity. The
+    // full-sweep format serializes every slot, occupied or dummy, so the
+    // trace is a geometry constant: fixed prefix + stash_capacity slot
+    // records + fixed trailer. The sparse negative control gathers only
+    // occupied slots — its record count and offsets follow the
+    // (secret-dependent) stash occupancy, which is exactly the leak the
+    // statistical engine must reject.
+    const uint64_t entry_bytes =
+        12 + 4 * static_cast<uint64_t>(block_words_);
+    // 24-byte prologue + 11 scalar fields + posmap + slot tables.
+    const uint64_t prefix_bytes =
+        24 + 11 * 8 + 4 * static_cast<uint64_t>(num_blocks_) +
+        12 * static_cast<uint64_t>(num_buckets_ * bucket_slots_);
+    recorder_->Record(ckpt_trace_base_,
+                      static_cast<uint32_t>(prefix_bytes), true);
+    // The sparse serializer packs occupied entries sequentially, so the
+    // write cursor (and the record count) IS the occupancy; the dense
+    // sweep writes slot s at offset s regardless.
+    uint64_t cursor = 0;
+    for (int64_t s = 0; s < stash_capacity_; ++s) {
+        if (durability_.unsafe_sparse_checkpoint &&
+            stash_id_[static_cast<size_t>(s)] == kDummyId) {
+            continue;
+        }
+        const uint64_t pos = durability_.unsafe_sparse_checkpoint
+                                 ? cursor++
+                                 : static_cast<uint64_t>(s);
+        recorder_->Record(ckpt_trace_base_ + prefix_bytes +
+                              pos * entry_bytes,
+                          static_cast<uint32_t>(entry_bytes), true);
+    }
+    const uint64_t trailer_off =
+        prefix_bytes +
+        static_cast<uint64_t>(stash_capacity_) * entry_bytes;
+    recorder_->Record(
+        ckpt_trace_base_ + trailer_off,
+        static_cast<uint32_t>(8 * static_cast<uint64_t>(num_buckets_) + 4),
+        true);
+    (void)bytes;
+}
+
+serving::Status
+RawOram::AppendAccessRecord(uint64_t id, uint32_t new_leaf, Op op,
+                            const uint32_t* block)
+{
+    journal_payload_.clear();
+    AppendU64(&journal_payload_, id);
+    AppendU32(&journal_payload_, new_leaf);
+    AppendU32(&journal_payload_, op == Op::kWrite ? 1u : 0u);
+    const size_t n = journal_payload_.size();
+    journal_payload_.resize(
+        n + static_cast<size_t>(block_words_) * sizeof(uint32_t));
+    std::memcpy(journal_payload_.data() + n, block,
+                static_cast<size_t>(block_words_) * sizeof(uint32_t));
+
+    if (auto s = journal_.Append(JournalRecordType::kAccess, seq_ + 1,
+                                 journal_payload_,
+                                 durability_.sync_each_append);
+        !s.ok()) {
+        return s;
+    }
+    seq_++;
+    accesses_since_ckpt_++;
+    stats_.journal_appends++;
+    RecordJournalAppend(JournalRecordBytes(
+        static_cast<int64_t>(journal_payload_.size())));
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::AppendEvictRecord(uint64_t counter_before, uint32_t leaf)
+{
+    // Captured after FetchPath and before phase 1: slot metadata and the
+    // decrypted page content are still the pre-eviction state.
+    journal_payload_.clear();
+    AppendU64(&journal_payload_, counter_before);
+    AppendU32(&journal_payload_, leaf);
+    AppendU32(&journal_payload_, 0);  // pad
+    const int64_t page_bytes = cache_->page_bytes();
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = path_buckets_[static_cast<size_t>(level)];
+        const auto* words = reinterpret_cast<const uint32_t*>(
+            path_pages_.data() + level * page_bytes);
+        for (int64_t z = 0; z < bucket_slots_; ++z) {
+            const size_t slot =
+                static_cast<size_t>(b * bucket_slots_ + z);
+            AppendU64(&journal_payload_, slot_id_[slot]);
+            AppendU32(&journal_payload_, slot_leaf_[slot]);
+            const size_t n = journal_payload_.size();
+            journal_payload_.resize(
+                n + static_cast<size_t>(block_words_) * sizeof(uint32_t));
+            std::memcpy(journal_payload_.data() + n,
+                        words + z * block_words_,
+                        static_cast<size_t>(block_words_) *
+                            sizeof(uint32_t));
+        }
+    }
+
+    if (auto s = journal_.Append(JournalRecordType::kEvict, seq_ + 1,
+                                 journal_payload_,
+                                 durability_.sync_each_append);
+        !s.ok()) {
+        return s;
+    }
+    seq_++;
+    stats_.journal_appends++;
+    RecordJournalAppend(JournalRecordBytes(
+        static_cast<int64_t>(journal_payload_.size())));
+    return serving::Status::Ok();
+}
+
+CheckpointData
+RawOram::BuildCheckpointData() const
+{
+    CheckpointData d;
+    d.num_blocks = num_blocks_;
+    d.block_words = block_words_;
+    d.bucket_slots = bucket_slots_;
+    d.levels = levels_;
+    d.stash_capacity = stash_capacity_;
+    d.eviction_period = eviction_period_;
+    d.cipher_seed = cipher_seed_;
+    d.evict_counter = evict_counter_;
+    d.last_seq = seq_;
+    d.accesses = stats_.accesses;
+    d.evictions = stats_.evictions;
+    d.slot_id = slot_id_;
+    d.slot_leaf = slot_leaf_;
+    d.stash_id = stash_id_;
+    d.stash_leaf = stash_leaf_;
+    d.stash_data = stash_data_;
+    d.bucket_version = bucket_version_;
+    return d;
+}
+
+serving::Status
+RawOram::Checkpoint()
+{
+    if (!durability_.enabled()) return serving::Status::Ok();
+    if (!loaded_) {
+        return serving::Status::Error(serving::StatusCode::kInternal,
+                                      "raw oram: not bulk-loaded");
+    }
+    TELEMETRY_SPAN("store.ckpt.write");
+    // Pages first: the checkpoint asserts "all page writes with seq <=
+    // last_seq are on disk", which replay relies on to skip re-reading.
+    if (auto s = cache_->Sync(); !s.ok()) return s;
+    CheckpointData d = BuildCheckpointData();
+    if (auto s = posmap_.SnapshotLeaves(&d.posmap_leaves); !s.ok()) {
+        return s;
+    }
+    int64_t bytes = 0;
+    if (auto s = WriteCheckpointAtomic(ckpt_path_, d,
+                                       durability_.unsafe_sparse_checkpoint,
+                                       &bytes);
+        !s.ok()) {
+        return s;
+    }
+    stats_.checkpoints++;
+    stats_.checkpoint_bytes = bytes;
+    RecordCheckpointWrite(bytes);
+    TELEMETRY_COUNT("store.ckpt.checkpoints", 1);
+    TELEMETRY_GAUGE_SET("store.ckpt.last_bytes",
+                        static_cast<double>(bytes));
+    if (flight_ != nullptr) {
+        serving::FlightEvent ev;
+        ev.hop = serving::FlightHop::kStoreCheckpoint;
+        ev.detail = static_cast<uint32_t>(bytes / 1024);
+        ev.feature = flight_feature_;
+        flight_->Record(ev);
+    }
+    // Crash window: checkpoint renamed, journal not yet reset. Recovery
+    // handles it by skipping journal records with seq <= last_seq.
+    MaybeCrash(CrashSite::kCheckpointAfterRename);
+    if (auto s = journal_.Reset(journal_path_, seq_, geometry_hash_);
+        !s.ok()) {
+        return s;
+    }
+    accesses_since_ckpt_ = 0;
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::MaybeAutoCheckpoint()
+{
+    if (!durability_.enabled()) return serving::Status::Ok();
+    const bool interval_due =
+        durability_.checkpoint_interval > 0 &&
+        accesses_since_ckpt_ >= durability_.checkpoint_interval;
+    const bool journal_full =
+        journal_.records() >= durability_.journal_limit;
+    if (interval_due || journal_full) return Checkpoint();
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::RestoreFromCheckpoint(const CheckpointData& d)
+{
+    if (d.num_blocks != num_blocks_ || d.block_words != block_words_ ||
+        d.bucket_slots != bucket_slots_ || d.levels != levels_ ||
+        d.stash_capacity != stash_capacity_ ||
+        d.eviction_period != eviction_period_) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "checkpoint geometry does not match this construction "
+            "(same num_blocks/block_words/page_bytes/stash/eviction "
+            "period required)");
+    }
+    if (auto s = posmap_.RestoreLeaves(d.posmap_leaves); !s.ok()) {
+        return s;
+    }
+    slot_id_ = d.slot_id;
+    slot_leaf_ = d.slot_leaf;
+    stash_id_ = d.stash_id;
+    stash_leaf_ = d.stash_leaf;
+    stash_data_ = d.stash_data;
+    bucket_version_ = d.bucket_version;
+    cipher_seed_ = d.cipher_seed;
+    cipher_ = oram::BucketCipher(cipher_seed_);
+    evict_counter_ = d.evict_counter;
+    seq_ = d.last_seq;
+    stats_.accesses = d.accesses;
+    stats_.evictions = d.evictions;
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::ReplayAccess(const JournalRecord& rec)
+{
+    if (rec.payload.size() !=
+        static_cast<size_t>(JournalAccessPayloadBytes(block_words_))) {
+        return serving::Status::Error(
+            serving::StatusCode::kInternal,
+            "access record " + std::to_string(rec.seq) +
+                " has a malformed payload");
+    }
+    const uint8_t* p = rec.payload.data();
+    const uint64_t id = TakeU64(p);
+    const uint32_t new_leaf = TakeU32(p + 8);
+    std::vector<uint32_t> block(static_cast<size_t>(block_words_));
+    std::memcpy(block.data(), p + 16,
+                static_cast<size_t>(block_words_) * sizeof(uint32_t));
+    if (id >= static_cast<uint64_t>(num_blocks_) ||
+        new_leaf >= static_cast<uint32_t>(num_leaves_)) {
+        return serving::Status::Error(
+            serving::StatusCode::kInternal,
+            "access record " + std::to_string(rec.seq) +
+                " references out-of-range block or leaf");
+    }
+
+    // Re-execute the RAM effect of the access: the fetched path is
+    // determined by the (restored) posmap, the inserted payload by the
+    // record. No page IO — reads wrote nothing back.
+    const uint32_t old_leaf =
+        posmap_.Update(static_cast<int64_t>(id), new_leaf);
+    for (int64_t s = 0; s < stash_capacity_; ++s) {
+        const uint64_t m =
+            EqMask(stash_id_[static_cast<size_t>(s)], id);
+        stash_id_[static_cast<size_t>(s)] =
+            Select(m, kDummyId, stash_id_[static_cast<size_t>(s)]);
+    }
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = BucketOnPath(old_leaf, level);
+        for (int64_t z = 0; z < bucket_slots_; ++z) {
+            const size_t slot =
+                static_cast<size_t>(b * bucket_slots_ + z);
+            const uint64_t m = EqMask(slot_id_[slot], id);
+            slot_id_[slot] = Select(m, kDummyId, slot_id_[slot]);
+        }
+    }
+    StashInsertMasked(~uint64_t{0}, id, new_leaf, block.data());
+    stats_.accesses++;
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::ReplayEvict(const JournalRecord& rec)
+{
+    const int64_t path_slots = (levels_ + 1) * bucket_slots_;
+    if (rec.payload.size() !=
+        static_cast<size_t>(
+            JournalEvictPayloadBytes(path_slots, block_words_))) {
+        return serving::Status::Error(
+            serving::StatusCode::kInternal,
+            "evict record " + std::to_string(rec.seq) +
+                " has a malformed payload");
+    }
+    const uint8_t* p = rec.payload.data();
+    const uint64_t counter = TakeU64(p);
+    const uint32_t rec_leaf = TakeU32(p + 8);
+    if (counter != evict_counter_) {
+        return serving::Status::Error(
+            serving::StatusCode::kInternal,
+            "evict record " + std::to_string(rec.seq) +
+                " is out of order: counter " + std::to_string(counter) +
+                " vs expected " + std::to_string(evict_counter_));
+    }
+    const uint32_t leaf = NextEvictionLeaf();
+    if (rec_leaf != leaf) {
+        return serving::Status::Error(
+            serving::StatusCode::kInternal,
+            "evict record " + std::to_string(rec.seq) +
+                " names leaf " + std::to_string(rec_leaf) +
+                ", schedule says " + std::to_string(leaf));
+    }
+
+    // Phase 1 from the journaled pre-image (the live pass read it from
+    // the decrypted pages; the record captured exactly that).
+    for (int64_t level = 0; level <= levels_; ++level) {
+        path_buckets_[static_cast<size_t>(level)] =
+            BucketOnPath(leaf, level);
+    }
+    const uint8_t* e = p + 16;
+    std::vector<uint32_t> block(static_cast<size_t>(block_words_));
+    for (int64_t level = 0; level <= levels_; ++level) {
+        const int64_t b = path_buckets_[static_cast<size_t>(level)];
+        for (int64_t z = 0; z < bucket_slots_; ++z) {
+            const uint64_t e_id = TakeU64(e);
+            const uint32_t e_leaf = TakeU32(e + 8);
+            std::memcpy(block.data(), e + 12,
+                        static_cast<size_t>(block_words_) *
+                            sizeof(uint32_t));
+            e += 12 + static_cast<size_t>(block_words_) * sizeof(uint32_t);
+            const uint64_t valid = ~EqMask(e_id, kDummyId);
+            StashInsertMasked(valid, e_id, e_leaf, block.data());
+            slot_id_[static_cast<size_t>(b * bucket_slots_ + z)] =
+                kDummyId;
+        }
+    }
+    // Phase 2 is deterministic given the stash + metadata, and rewrites
+    // every page of the path — idempotent over however many of the
+    // original page writes reached disk before the crash.
+    if (auto s = RepackAndWriteBack(leaf); !s.ok()) return s;
+    stats_.evictions++;
+    return serving::Status::Ok();
+}
+
+serving::Status
+RawOram::Recover(int64_t num_blocks, int64_t block_words,
+                 std::unique_ptr<PageCache> cache, Rng& rng,
+                 const RawOramConfig& config, std::unique_ptr<RawOram>* out,
+                 RecoveryStats* stats)
+{
+    if (!config.durability.enabled()) {
+        return serving::Status::Error(
+            serving::StatusCode::kInvalidArgument,
+            "raw oram recovery requires durability.dir");
+    }
+    TELEMETRY_SPAN("store.ckpt.recover");
+    std::unique_ptr<RawOram> oram;
+    try {
+        oram = std::make_unique<RawOram>(num_blocks, block_words,
+                                         std::move(cache), rng, config);
+    } catch (const StoreError& e) {
+        return e.status();
+    }
+
+    CheckpointData d;
+    if (auto s = ReadCheckpoint(oram->ckpt_path_, &d); !s.ok()) return s;
+    if (auto s = oram->RestoreFromCheckpoint(d); !s.ok()) return s;
+
+    JournalLoadResult load;
+    if (auto s = LoadJournal(oram->journal_path_, oram->geometry_hash_,
+                             oram->seq_, &load);
+        !s.ok()) {
+        return s;
+    }
+    oram->recovery_stats_ = RecoveryStats{};
+    oram->recovery_stats_.checkpoint_seq = d.last_seq;
+    oram->recovery_stats_.skipped_records = load.skipped;
+    oram->recovery_stats_.dropped_tail = load.dropped_tail;
+    oram->recovery_stats_.dropped_tail_bytes = load.dropped_tail_bytes;
+
+    oram->loaded_ = true;
+    try {
+        for (const JournalRecord& rec : load.records) {
+            serving::Status s;
+            if (rec.type == JournalRecordType::kAccess) {
+                s = oram->ReplayAccess(rec);
+                oram->recovery_stats_.replayed_accesses++;
+            } else {
+                s = oram->ReplayEvict(rec);
+                oram->recovery_stats_.replayed_evictions++;
+            }
+            if (!s.ok()) return s;
+            oram->seq_ = rec.seq;
+        }
+    } catch (const std::exception& e) {
+        // A CRC-valid but semantically impossible record (stash
+        // overflow, ...) must fail closed, not crash the recoverer.
+        return serving::Status::Error(
+            serving::StatusCode::kInternal,
+            std::string("journal replay failed: ") + e.what());
+    }
+    oram->recovery_stats_.last_seq = oram->seq_;
+
+    // Make the replayed page writes (and the store's CRC table) durable
+    // before serving: recovery must converge, not defer.
+    if (auto s = oram->cache_->Sync(); !s.ok()) return s;
+    if (auto s = oram->journal_.OpenForAppend(
+            oram->journal_path_,
+            load.skipped + static_cast<int64_t>(load.records.size()),
+            load.file_bytes - JournalFileHeaderBytes());
+        !s.ok()) {
+        return s;
+    }
+    TELEMETRY_COUNT("store.ckpt.recoveries", 1);
+    if (stats != nullptr) *stats = oram->recovery_stats_;
+    *out = std::move(oram);
+    return serving::Status::Ok();
 }
 
 int64_t

@@ -44,6 +44,7 @@
 #include "oram/params.h"
 #include "oram/tree_oram.h"
 #include "sidechannel/trace.h"
+#include "store/durable.h"
 #include "store/page_cache.h"
 #include "tensor/rng.h"
 
@@ -63,6 +64,13 @@ struct RawOramConfig
         oram::OramKind::kPath);
     /** Trace sink for page/stash/metadata accesses (nullptr = off). */
     sidechannel::TraceRecorder* recorder = nullptr;
+    /**
+     * Crash consistency: checkpoint + write-ahead journal directory and
+     * tunables (see store/durable.h). Requires a flat (non-recursive)
+     * position map and a file-backed store to be meaningful; durability
+     * is off when `durability.dir` is empty.
+     */
+    DurabilityConfig durability;
 };
 
 /** Cumulative counters. */
@@ -73,6 +81,9 @@ struct RawOramStats
     int64_t page_reads = 0;
     int64_t page_writes = 0;
     int64_t stash_peak = 0;  ///< high-water real blocks in the stash
+    int64_t checkpoints = 0;        ///< durable checkpoints sealed
+    int64_t checkpoint_bytes = 0;   ///< bytes of the last checkpoint
+    int64_t journal_appends = 0;    ///< records appended since creation
 };
 
 class RawOram
@@ -114,6 +125,40 @@ class RawOram
     /** Flush dirty cache frames and sync the store durably. */
     serving::Status Sync() { return cache_->Sync(); }
 
+    /**
+     * Seal a durable checkpoint now: sync the page store, serialize the
+     * full client state (fixed-size sweep), commit it atomically, then
+     * reset the journal to the checkpointed sequence number. Ok (no-op)
+     * when durability is off. Automatic checkpoints fire from Access()
+     * every `durability.checkpoint_interval` accesses and whenever the
+     * journal reaches `durability.journal_limit` records.
+     */
+    serving::Status Checkpoint();
+
+    /**
+     * Reopen a durable RawOram from `config.durability.dir`: load +
+     * CRC-verify the checkpoint, validate its geometry against this
+     * construction, replay the journal with strict sequence continuity,
+     * rewrite every page the journal covers, and sync. Fails closed
+     * (kInternal / kInvalidArgument) on a torn checkpoint, mid-journal
+     * corruption, or duplicate/reordered sequence numbers; only a
+     * damaged final record with nothing valid beyond it is dropped.
+     *
+     * `cache` must be over the SAME backing file the crashed instance
+     * used (create=false), with PagesNeeded() pages.
+     */
+    static serving::Status Recover(int64_t num_blocks, int64_t block_words,
+                                   std::unique_ptr<PageCache> cache,
+                                   Rng& rng, const RawOramConfig& config,
+                                   std::unique_ptr<RawOram>* out,
+                                   RecoveryStats* stats = nullptr);
+
+    bool durable() const { return durability_.enabled(); }
+    /** Journal records since the last checkpoint. */
+    int64_t journal_records() const { return journal_.records(); }
+    /** What the last Recover() found (zero-valued for fresh instances). */
+    const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
     int64_t num_blocks() const { return num_blocks_; }
     int64_t block_words() const { return block_words_; }
     int64_t num_leaves() const { return num_leaves_; }
@@ -131,6 +176,8 @@ class RawOram
     void set_flight(serving::FlightRecorder* flight, int16_t feature = -1)
     {
         cache_->set_flight(flight, feature);
+        flight_ = flight;
+        flight_feature_ = feature;
     }
 
     /** Client-side resident bytes: metadata + stash + posmap + cache. */
@@ -155,6 +202,34 @@ class RawOram
 
     /** Fetch + decrypt the path pages of `leaf` into path_pages_. */
     serving::Status FetchPath(uint32_t leaf);
+
+    /**
+     * Eviction phase 2: greedy deepest-first repack of the stash into
+     * the path of `leaf` (path_buckets_ must be filled), re-encrypt
+     * under bumped versions, write the pages back. Shared between the
+     * live Evict() and journal replay — it never reads the fetched page
+     * content, which is what makes the evict record's pre-image replay
+     * idempotent.
+     */
+    serving::Status RepackAndWriteBack(uint32_t leaf);
+
+    // -- Durability ------------------------------------------------------
+    /** First checkpoint + journal creation, called from BulkLoad. */
+    serving::Status InitDurability();
+    /** Journal the post-op (id, new_leaf, op, payload) delta + fsync. */
+    serving::Status AppendAccessRecord(uint64_t id, uint32_t new_leaf,
+                                       Op op, const uint32_t* block);
+    /** Journal the decrypted path pre-image before phase-2 writes. */
+    serving::Status AppendEvictRecord(uint64_t counter_before,
+                                      uint32_t leaf);
+    serving::Status MaybeAutoCheckpoint();
+    CheckpointData BuildCheckpointData() const;
+    serving::Status ReplayAccess(const JournalRecord& rec);
+    serving::Status ReplayEvict(const JournalRecord& rec);
+    /** Restore client state from a validated checkpoint. */
+    serving::Status RestoreFromCheckpoint(const CheckpointData& d);
+    void RecordJournalAppend(int64_t record_bytes);
+    void RecordCheckpointWrite(int64_t bytes);
 
     /** All-ones iff block at `block_leaf` may live at `level` of the
      *  path to `path_leaf` (branchless prefix comparison). */
@@ -191,8 +266,23 @@ class RawOram
     std::vector<uint32_t> stash_data_;
     std::vector<uint64_t> bucket_version_;
     oram::PositionMap posmap_;
+    /** Persisted so a recovered instance decrypts the surviving pages. */
+    uint64_t cipher_seed_;
     oram::BucketCipher cipher_;
     uint64_t evict_counter_ = 0;
+
+    // Durable state (inert when durability_.enabled() is false).
+    DurabilityConfig durability_;
+    Journal journal_;
+    uint64_t seq_ = 0;  ///< last journaled sequence number
+    uint64_t geometry_hash_ = 0;
+    std::string ckpt_path_;
+    std::string journal_path_;
+    int64_t accesses_since_ckpt_ = 0;
+    std::vector<uint8_t> journal_payload_;  ///< reused append scratch
+    RecoveryStats recovery_stats_;
+    serving::FlightRecorder* flight_ = nullptr;
+    int16_t flight_feature_ = -1;
 
     // Reused path scratch: (levels_+1) decrypted pages + bucket indices.
     std::vector<uint8_t> path_pages_;
@@ -202,6 +292,8 @@ class RawOram
     uint64_t pages_trace_base_ = 0;
     uint64_t stash_trace_base_ = 0;
     uint64_t meta_trace_base_ = 0;
+    uint64_t ckpt_trace_base_ = 0;
+    uint64_t journal_trace_base_ = 0;
 
     RawOramStats stats_;
 };

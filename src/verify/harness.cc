@@ -1,10 +1,12 @@
 #include "verify/harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -672,6 +674,134 @@ StatisticalResult
 RunStatistical(const VerifyConfig& config)
 {
     return RunStatisticalWith(config, MakeSubjectFactory(config));
+}
+
+GeneratorFactory
+MakeDurableRawOramFactory(const VerifyConfig& config,
+                          const std::string& scratch_dir, bool recovered,
+                          bool sparse_negative_control)
+{
+    const VerifyConfig c = config;
+    auto next = std::make_shared<std::atomic<uint64_t>>(0);
+    return [c, scratch_dir, recovered, sparse_negative_control, next](
+               uint64_t seed, sidechannel::TraceRecorder* rec)
+               -> std::unique_ptr<core::EmbeddingGenerator> {
+        namespace fs = std::filesystem;
+        const std::string dir =
+            scratch_dir + "/g" +
+            std::to_string(next->fetch_add(1, std::memory_order_relaxed));
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+        fs::create_directories(dir, ec);
+        if (ec) {
+            throw std::runtime_error("cannot create scratch dir " + dir);
+        }
+
+        store::StoreConfig sc;
+        sc.backend = store::StoreBackend::kFile;
+        sc.path = dir + "/pages.bin";
+        sc.page_bytes = 384;  // match the in-memory raw_oram subject
+        sc.cache_pages = 4;
+        store::RawOramConfig rc;
+        rc.durability.dir = dir;
+        // The warmup below runs exactly one eviction period, so the
+        // recorded batch starts right after a drain and finishes before
+        // the next eviction: stash occupancy during the batch is the
+        // running distinct-id count of the secrets, undiluted by
+        // mid-batch drains. A content-dependent checkpoint format has
+        // nowhere to hide; the sealed (public-size) format is unchanged
+        // by any of this.
+        rc.eviction_period = std::max<int64_t>(2 * c.batch, 16);
+        // Small interval so auto checkpoints fire INSIDE the recorded
+        // batch — the write schedule under certification includes
+        // mid-traffic checkpoints, where a content-dependent format
+        // would leak.
+        rc.durability.checkpoint_interval = 2;
+        rc.durability.unsafe_sparse_checkpoint = sparse_negative_control;
+        rc.posmap.enable_recursion = false;
+        rc.recorder = rec;
+
+        Rng rng(Mix(seed, 0xd0c8aULL));
+        auto gen = std::make_unique<core::RawOramTable>(
+            SubjectTable(c, seed), rng, sc, rc);
+        // Public warmup — one eviction period of id = i mod rows — then a
+        // sealed checkpoint. Both arms share this schedule, so fresh and
+        // recovered instances face the recorded batch from the same
+        // (public) checkpoint/journal phase.
+        const int64_t warmup = rc.eviction_period;
+        std::vector<int64_t> ids(static_cast<size_t>(warmup));
+        for (int64_t i = 0; i < warmup; ++i) {
+            ids[static_cast<size_t>(i)] = i % c.rows;
+        }
+        Tensor warm({warmup, c.dim});
+        gen->Generate(ids, warm);
+        store::ThrowIfError(gen->CheckpointStorage());
+        if (!recovered) return gen;
+
+        gen.reset();  // tear down: only the on-disk state survives
+        Rng recovery_rng(Mix(seed, 0x2ec0fe2ULL));
+        std::unique_ptr<core::RawOramTable> back;
+        store::ThrowIfError(core::RawOramTable::Recover(
+            c.rows, c.dim, recovery_rng, sc, rc, &back));
+        return back;
+    };
+}
+
+RecoveredResult
+RunRecovered(const VerifyConfig& config, const std::string& scratch_dir)
+{
+    RecoveredResult result;
+    result.config = config;
+    const uint64_t cseed = ConstructionSeed(config);
+    const GeneratorFactory fresh = MakeDurableRawOramFactory(
+        config, scratch_dir + "/fresh", false, false);
+    const GeneratorFactory recovered = MakeDurableRawOramFactory(
+        config, scratch_dir + "/recovered", true, false);
+
+    // 1. A recovered instance must be indistinguishable in shape from a
+    //    fresh one under the same secrets: recovery leaves no
+    //    fingerprint in the access pattern.
+    const std::vector<int64_t> secrets = MakeSecretSet(config, 0);
+    const CanonicalTrace a = RunOne(config, fresh, cseed, secrets);
+    const CanonicalTrace b = RunOne(config, recovered, cseed, secrets);
+    result.trace_len = a.accesses.size();
+    const TraceDivergence d = CompareCanonicalShape(a, b);
+    result.shape_passed = !d.diverged;
+    if (d.diverged) {
+        result.detail = config.Name() +
+                        ": recovered instance diverges in shape from a "
+                        "fresh instance: " +
+                        d.detail;
+    }
+    // 2. Shape identity across secret sets, on recovered instances only.
+    result.differential = RunDifferentialWith(config, recovered, false);
+    // 3. Fixed-vs-random statistical check on recovered instances.
+    result.statistical = RunStatisticalWith(config, recovered);
+
+    result.passed = result.shape_passed && result.differential.passed &&
+                    result.statistical.passed;
+    if (!result.passed && result.detail.empty()) {
+        result.detail = !result.differential.passed
+                            ? result.differential.detail
+                            : result.statistical.detail;
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(scratch_dir, ec);
+    return result;
+}
+
+std::vector<VerifyConfig>
+RecoveredCorpus(uint64_t seed)
+{
+    // Durable runs build, checkpoint, and recover file-backed instances
+    // per trace — trim the sweep to a representative sample.
+    const std::vector<VerifyConfig> full =
+        FuzzCorpus(Subject::kRawOram, seed);
+    std::vector<VerifyConfig> corpus;
+    for (size_t i = 0; i < full.size() && corpus.size() < 3; i += 4) {
+        corpus.push_back(full[i]);
+    }
+    return corpus;
 }
 
 InterleavingResult

@@ -170,6 +170,53 @@ StatisticalResult RunStatisticalWith(const VerifyConfig& config,
                                      const GeneratorFactory& factory);
 
 /**
+ * Factory for durable, file-backed RAW ORAM generators under
+ * `scratch_dir` (each call gets a private subdirectory). Every instance
+ * is warmed up with one eviction period of public accesses (id = i mod
+ * rows) and checkpointed, so the certified trace starts from a
+ * non-trivial stash/journal state. With `recovered` the warmed instance
+ * is then torn down and rebuilt through RawOram::Recover — the returned
+ * generator serves from replayed checkpoint + journal state. With
+ * `sparse_negative_control` checkpoints use the occupancy-dependent
+ * sparse format (DurabilityConfig::unsafe_sparse_checkpoint), the
+ * planted leak the statistical engine must reject; combining it with
+ * `recovered` makes the factory throw, because recovery refuses sparse
+ * checkpoints by design.
+ */
+GeneratorFactory MakeDurableRawOramFactory(const VerifyConfig& config,
+                                           const std::string& scratch_dir,
+                                           bool recovered,
+                                           bool sparse_negative_control);
+
+/** Result of the recovered-instance certification (durable RAW ORAM). */
+struct RecoveredResult
+{
+    VerifyConfig config;
+    bool passed = false;
+    size_t trace_len = 0;       ///< canonical accesses per run
+    /** Fresh-vs-recovered shape identity on the same secret set. */
+    bool shape_passed = false;
+    DifferentialResult differential;  ///< across secrets, recovered only
+    StatisticalResult statistical;    ///< fixed-vs-random, recovered only
+    std::string detail;
+};
+
+/**
+ * Certify that crash recovery is leakage-free: a recovered instance's
+ * canonical trace must be shape-identical to a fresh instance's under
+ * the same public schedule (checkpoint history is not allowed to leave a
+ * fingerprint in the access pattern), the differential engine must hold
+ * across secret sets on recovered instances, and the fixed-vs-random
+ * statistical check must accept recovered instances. `scratch_dir` holds
+ * the store/checkpoint/journal files and is wiped per generator.
+ */
+RecoveredResult RunRecovered(const VerifyConfig& config,
+                             const std::string& scratch_dir);
+
+/** Trimmed corpus for the (slower) recovered-instance arm. */
+std::vector<VerifyConfig> RecoveredCorpus(uint64_t seed);
+
+/**
  * Deterministic fuzz corpus for one subject: at least 8 configurations
  * sweeping table shape, batch size, and thread count (1 vs pooled),
  * derived from `seed`.

@@ -16,6 +16,8 @@
  * this binary is the interactive / CI-artifact entry point.
  */
 
+#include <unistd.h>
+
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,6 +41,10 @@ struct CliOptions
     bool update_golden = false;
     std::string json_path;
     bool list_only = false;
+    /// Run the recovered-instance arm (durable RAW ORAM: crash-recover
+    /// each instance before certifying it).
+    bool recovered = false;
+    std::string scratch_dir;  ///< recovered-arm working files
 };
 
 void
@@ -55,6 +61,10 @@ PrintUsage()
            "  --golden-dir=DIR    diff golden traces in DIR as well\n"
            "  --update-golden     rewrite golden traces in DIR and exit\n"
            "  --json=PATH         write a machine-readable report\n"
+           "  --recovered         also certify crash-recovered durable\n"
+           "                      RAW ORAM instances (slower)\n"
+           "  --scratch-dir=DIR   recovered-arm working directory\n"
+           "                      (default: under /tmp, wiped)\n"
            "  --list              print the fuzz corpus and exit\n";
 }
 
@@ -78,6 +88,8 @@ ParseArgs(int argc, char** argv, CliOptions* opt)
             opt->list_only = true;
         } else if (arg == "--update-golden") {
             opt->update_golden = true;
+        } else if (arg == "--recovered") {
+            opt->recovered = true;
         } else if (const char* v = value("--subjects")) {
             opt->subjects.clear();
             std::istringstream is(v);
@@ -106,6 +118,8 @@ ParseArgs(int argc, char** argv, CliOptions* opt)
             opt->golden_dir = v;
         } else if (const char* v = value("--json")) {
             opt->json_path = v;
+        } else if (const char* v = value("--scratch-dir")) {
+            opt->scratch_dir = v;
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
             PrintUsage();
@@ -196,6 +210,7 @@ CheckGolden(const CliOptions& opt, bool* all_passed)
 
 bool
 WriteJsonReport(const std::string& path, const SweepResult& sweep,
+                const std::vector<RecoveredResult>& recovered,
                 const std::vector<GoldenOutcome>& golden, bool all_passed)
 {
     bench::JsonWriter w;
@@ -222,6 +237,19 @@ WriteJsonReport(const std::string& path, const SweepResult& sweep,
         w.Key("cache_df").Value(r.cache_df);
         w.Key("page_chi2").Value(r.page_chi2);
         w.Key("page_df").Value(r.page_df);
+        w.EndObject();
+    }
+    w.EndArray();
+    w.Key("recovered").BeginArray();
+    for (const RecoveredResult& r : recovered) {
+        w.BeginObject();
+        w.Key("config").Value(r.config.Name());
+        w.Key("passed").Value(r.passed);
+        w.Key("shape_passed").Value(r.shape_passed);
+        w.Key("differential_passed").Value(r.differential.passed);
+        w.Key("statistical_passed").Value(r.statistical.passed);
+        w.Key("trace_len").Value(static_cast<uint64_t>(r.trace_len));
+        if (!r.detail.empty()) w.Key("detail").Value(r.detail);
         w.EndObject();
     }
     w.EndArray();
@@ -270,6 +298,31 @@ Run(const CliOptions& opt)
         if (!r.passed) std::cout << "     " << r.detail << "\n";
     }
 
+    std::vector<RecoveredResult> recovered;
+    if (opt.recovered && SubjectRequested(opt, Subject::kRawOram)) {
+        std::string scratch = opt.scratch_dir;
+        if (scratch.empty()) {
+            scratch = "/tmp/secemb-verify-recovered." +
+                      std::to_string(static_cast<long>(::getpid()));
+        }
+        for (VerifyConfig c : RecoveredCorpus(opt.seed)) {
+            if (opt.secret_sets > 0) c.secret_sets = opt.secret_sets;
+            RecoveredResult r =
+                RunRecovered(c, scratch + "/" + c.Name());
+            std::cout << (r.passed ? "PASS" : "FAIL") << " recovered    "
+                      << r.config.Name() << " (" << r.trace_len
+                      << " accesses, shape "
+                      << (r.shape_passed ? "ok" : "DIVERGED")
+                      << ", differential "
+                      << (r.differential.passed ? "ok" : "FAIL")
+                      << ", statistical "
+                      << (r.statistical.passed ? "ok" : "FAIL") << ")\n";
+            if (!r.passed) std::cout << "     " << r.detail << "\n";
+            all_passed = all_passed && r.passed;
+            recovered.push_back(std::move(r));
+        }
+    }
+
     std::vector<GoldenOutcome> golden;
     if (!opt.golden_dir.empty()) {
         golden = CheckGolden(opt, &all_passed);
@@ -281,14 +334,16 @@ Run(const CliOptions& opt)
     }
 
     if (!opt.json_path.empty() &&
-        !WriteJsonReport(opt.json_path, sweep, golden, all_passed)) {
+        !WriteJsonReport(opt.json_path, sweep, recovered, golden,
+                         all_passed)) {
         return 1;
     }
 
     std::cout << (all_passed ? "CERTIFIED" : "LEAKAGE SUSPECTED") << ": "
               << sweep.differential.size() << " differential, "
               << sweep.statistical.size() << " statistical, "
-              << golden.size() << " golden check(s)\n";
+              << recovered.size() << " recovered, " << golden.size()
+              << " golden check(s)\n";
     return all_passed ? 0 : 1;
 }
 

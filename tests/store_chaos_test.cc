@@ -11,17 +11,22 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/paged_generators.h"
 #include "fault/fault.h"
 #include "serving/server.h"
 #include "store/backing_store.h"
+#include "store/durable.h"
 #include "store/page_cache.h"
+#include "store/raw_oram.h"
 #include "tensor/rng.h"
 
 namespace secemb::store {
@@ -287,6 +292,273 @@ TEST(StoreChaosTest, ShutdownSyncFailureIsCountedNotFatal)
         server.Shutdown();
     }
     EXPECT_GE(server.GetStats().storage_sync_failures, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/journal fault rows: what recovery does with damaged durable
+// state. (The kill-based harness in crash_harness_test proves legal crash
+// states recover; these rows prove ILLEGAL states are refused, typed.)
+// ---------------------------------------------------------------------------
+
+std::string
+DurableDir(const std::string& name)
+{
+    const std::string dir = testing::TempDir() + "secemb_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+constexpr int64_t kOramRows = 16;
+constexpr int64_t kOramDim = 4;
+constexpr int64_t kOramPage = 128;
+
+RawOramConfig
+OramDurableConfig(const std::string& dir, int64_t eviction_period = 8)
+{
+    RawOramConfig rc;
+    rc.eviction_period = eviction_period;
+    rc.durability.dir = dir;
+    rc.posmap.enable_recursion = false;
+    return rc;
+}
+
+std::unique_ptr<PageCache>
+OramPageCache(const std::string& dir, bool create)
+{
+    StoreConfig sc = FileConfig(dir + "/pages.bin", kOramPage, 4);
+    sc.create = create;
+    std::unique_ptr<PageCache> cache;
+    ThrowIfError(MakePageCache(
+        sc, RawOram::PagesNeeded(kOramRows, kOramDim, kOramPage), &cache));
+    return cache;
+}
+
+/** Durable instance + `writes` seeded writes; returns the final table. */
+std::vector<uint32_t>
+SeedDurableOram(const std::string& dir, int writes,
+                int64_t eviction_period)
+{
+    Rng rng(700);
+    RawOram oram(kOramRows, kOramDim, OramPageCache(dir, true), rng,
+                 OramDurableConfig(dir, eviction_period));
+    std::vector<uint32_t> table(
+        static_cast<size_t>(kOramRows * kOramDim), 0xd1u);
+    ThrowIfError(oram.BulkLoad(table));
+    Rng vals(701);
+    for (int i = 0; i < writes; ++i) {
+        const int64_t id = i % kOramRows;
+        std::vector<uint32_t> v(static_cast<size_t>(kOramDim));
+        for (auto& w : v) w = static_cast<uint32_t>(vals.Next());
+        ThrowIfError(oram.Write(id, v));
+        std::copy(v.begin(), v.end(), table.begin() + id * kOramDim);
+    }
+    return table;
+}
+
+serving::Status
+RecoverOram(const std::string& dir, std::unique_ptr<RawOram>* out,
+            int64_t eviction_period = 8)
+{
+    Rng rng(702);
+    return RawOram::Recover(kOramRows, kOramDim, OramPageCache(dir, false),
+                            rng, OramDurableConfig(dir, eviction_period),
+                            out);
+}
+
+TEST(StoreChaosTest, TornCheckpointFailsClosedAtRecovery)
+{
+    const std::string dir = DurableDir("torn_ckpt");
+    SeedDurableOram(dir, /*writes=*/4, /*eviction_period=*/8);
+    // Flip one byte past the checkpoint magic: the modeled torn write.
+    fault::CorruptFileBytes(dir + "/ckpt.bin", /*seed=*/210, /*flips=*/1,
+                            /*skip_prefix=*/16);
+    std::unique_ptr<RawOram> oram;
+    EXPECT_EQ(RecoverOram(dir, &oram).code,
+              serving::StatusCode::kInternal);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StoreChaosTest, TruncatedJournalTailRecoversThePrefix)
+{
+    const std::string dir = DurableDir("journal_cut");
+    // eviction_period far beyond the op count: no eviction page writes,
+    // so cutting the journal tail models a pure append-crash (the one
+    // damaged-tail state recovery may legally drop).
+    std::vector<uint32_t> table =
+        SeedDurableOram(dir, /*writes=*/5, /*eviction_period=*/1000);
+    {
+        std::error_code ec;
+        const auto size =
+            std::filesystem::file_size(dir + "/journal.bin", ec);
+        ASSERT_FALSE(ec);
+        std::filesystem::resize_file(dir + "/journal.bin", size - 7, ec);
+        ASSERT_FALSE(ec);
+    }
+    // Un-apply the torn final write (id = 4 % 16): the recovered table
+    // must equal the state after the 4 intact records.
+    {
+        Rng vals(701);
+        std::vector<uint32_t> v(static_cast<size_t>(kOramDim));
+        for (int i = 0; i < 4; ++i) {
+            for (auto& w : v) w = static_cast<uint32_t>(vals.Next());
+        }
+        std::fill(table.begin() + 4 * kOramDim,
+                  table.begin() + 5 * kOramDim, 0xd1u);
+    }
+
+    auto read_all = [&](bool expect_tail_drop) {
+        std::unique_ptr<RawOram> oram;
+        ThrowIfError(RecoverOram(dir, &oram, /*eviction_period=*/1000));
+        if (expect_tail_drop) {
+            EXPECT_TRUE(oram->recovery_stats().dropped_tail);
+            EXPECT_EQ(oram->recovery_stats().replayed_accesses, 4);
+        }
+        std::vector<uint32_t> rows;
+        std::vector<uint32_t> row(static_cast<size_t>(kOramDim));
+        for (int64_t r = 0; r < kOramRows; ++r) {
+            ThrowIfError(oram->Read(r, row));
+            rows.insert(rows.end(), row.begin(), row.end());
+        }
+        return rows;
+    };
+    const std::vector<uint32_t> first = read_all(true);
+    EXPECT_EQ(first, table);
+    // A second restart is clean: the first recovery truncated the torn
+    // tail and re-journaled its own (read) accesses, and the content
+    // still round-trips bit-for-bit.
+    EXPECT_EQ(read_all(false), first);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StoreChaosTest, DuplicateSequenceNumberFailsClosed)
+{
+    const std::string dir = DurableDir("dup_seq");
+    SeedDurableOram(dir, /*writes=*/3, /*eviction_period=*/1000);
+
+    // Overwrite record 3's bytes with record 2's (same size, valid CRC):
+    // a duplicated sequence number mid-journal. Replaying it would apply
+    // a delta twice; recovery must refuse, not guess.
+    const int64_t rec = JournalRecordBytes(
+        JournalAccessPayloadBytes(kOramDim));
+    const int64_t hdr = JournalFileHeaderBytes();
+    std::fstream f(dir + "/journal.bin",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    std::vector<char> second(static_cast<size_t>(rec));
+    f.seekg(hdr + rec);
+    f.read(second.data(), rec);
+    f.seekp(hdr + 2 * rec);
+    f.write(second.data(), rec);
+    f.close();
+
+    std::unique_ptr<RawOram> oram;
+    const serving::Status s = RecoverOram(dir, &oram, 1000);
+    EXPECT_EQ(s.code, serving::StatusCode::kInternal);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StoreChaosTest, CheckpointWriteFaultIsTypedAndNonFatal)
+{
+    const std::string dir = DurableDir("ckpt_fault");
+    Rng rng(703);
+    RawOram oram(kOramRows, kOramDim, OramPageCache(dir, true), rng,
+                 OramDurableConfig(dir));
+    std::vector<uint32_t> table(
+        static_cast<size_t>(kOramRows * kOramDim), 0x7u);
+    ThrowIfError(oram.BulkLoad(table));
+
+    FaultPlan plan(211);
+    plan.ArmRate(FaultSite::kIoWrite, 1.0);
+    {
+        ScopedFaultInjection scope(&plan);
+        EXPECT_EQ(oram.Checkpoint().code,
+                  serving::StatusCode::kResourceExhausted);
+    }
+    // The failed attempt went to ckpt.bin.tmp; the live checkpoint is
+    // intact and the instance still serves and checkpoints.
+    std::vector<uint32_t> row(static_cast<size_t>(kOramDim));
+    EXPECT_TRUE(oram.Read(3, row).ok());
+    EXPECT_TRUE(oram.Checkpoint().ok());
+    std::unique_ptr<RawOram> rec;
+    EXPECT_TRUE(RecoverOram(dir, &rec).ok());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StoreChaosTest, ServerRunsPeriodicStorageMaintenance)
+{
+    Rng rng(212);
+    auto paged = std::make_shared<core::PagedScanTable>(
+        Tensor::Randn({32, 8}, rng),
+        FileConfig(TempPath("periodic.store"), 256, 64));
+
+    serving::ServerConfig cfg;
+    cfg.default_deadline_us = 0;
+    cfg.flush_deadline_us = 50;
+    cfg.nthreads = 1;
+    cfg.storage_sync_interval_us = 500;
+    cfg.storage_checkpoint_interval_us = 500;
+    serving::Server server({paged}, cfg);
+
+    serving::Request r;
+    r.indices = {1, 2, 3};
+    ASSERT_TRUE(server.SubmitAndWait(std::move(r)).status.ok());
+    // The batcher's idle timeout (2 ms) outlives both intervals: the
+    // next few wakeups must run sync and checkpoint maintenance.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while ((server.GetStats().storage_syncs == 0 ||
+            server.GetStats().storage_checkpoints == 0) &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const serving::ServerStats stats = server.GetStats();
+    EXPECT_GE(stats.storage_syncs, 1u);
+    EXPECT_GE(stats.storage_checkpoints, 1u);
+    EXPECT_EQ(stats.storage_sync_failures, 0u);
+
+    // Still serving after maintenance cycles.
+    serving::Request again;
+    again.indices = {4, 5};
+    EXPECT_TRUE(server.SubmitAndWait(std::move(again)).status.ok());
+    server.Shutdown();
+}
+
+TEST(StoreChaosTest, PeriodicSyncFailureIsCountedAndServingContinues)
+{
+    Rng rng(213);
+    auto paged = std::make_shared<core::PagedScanTable>(
+        Tensor::Randn({32, 8}, rng),
+        // Whole-table cache: construction leaves dirty frames for the
+        // periodic sync to hit the injected write fault with.
+        FileConfig(TempPath("periodic_fail.store"), 256, 64));
+
+    serving::ServerConfig cfg;
+    cfg.default_deadline_us = 0;
+    cfg.flush_deadline_us = 50;
+    cfg.nthreads = 1;
+    cfg.storage_sync_interval_us = 500;
+    cfg.sync_storage_on_shutdown = false;
+    serving::Server server({paged}, cfg);
+
+    FaultPlan plan(214);
+    plan.ArmRate(FaultSite::kIoWrite, 1.0);
+    {
+        ScopedFaultInjection scope(&plan);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        while (server.GetStats().storage_sync_failures == 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    EXPECT_GE(server.GetStats().storage_sync_failures, 1u);
+
+    // Maintenance failure never poisons the serving path.
+    serving::Request r;
+    r.indices = {7, 8};
+    EXPECT_TRUE(server.SubmitAndWait(std::move(r)).status.ok());
+    server.Shutdown();
 }
 
 }  // namespace

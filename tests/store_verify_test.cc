@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -201,6 +202,77 @@ TEST(StoreVerifyTest, StatisticalCheckRejectsDemandPaging)
     EXPECT_FALSE(r.passed)
         << "demand paging by secret index was certified as oblivious; "
            "the out-of-core statistical check is vacuous";
+}
+
+// ---------------------------------------------------------------------------
+// Durability leakage: a recovered instance must be indistinguishable from
+// a fresh one, and the occupancy-dependent (sparse) checkpoint format must
+// be caught. (The crash-correctness side lives in crash_harness_test.)
+// ---------------------------------------------------------------------------
+
+TEST(StoreVerifyTest, RecoveredRawOramIsCertified)
+{
+    const VerifyConfig config = StoreConfigFor(Subject::kRawOram, 59, 4);
+    const RecoveredResult r = RunRecovered(
+        config, testing::TempDir() + "secemb_verify_recovered");
+    EXPECT_TRUE(r.shape_passed)
+        << "recovered instance's trace shape diverged from fresh: "
+        << r.detail;
+    EXPECT_TRUE(r.differential.passed) << r.differential.detail;
+    EXPECT_TRUE(r.statistical.passed) << r.statistical.detail;
+    EXPECT_TRUE(r.passed) << r.detail;
+    EXPECT_GT(r.trace_len, 0u);
+}
+
+TEST(StoreVerifyTest, StatisticalCheckRejectsSparseCheckpoints)
+{
+    // The negative control for the durable tier: sparse checkpoints
+    // write only occupied stash slots, so the checkpoint's record count
+    // and offsets track stash occupancy — a function of the secret
+    // duplicate structure. With mid-batch checkpoints in the recorded
+    // trace, fixed-vs-random must distinguish the two groups. Small table
+    // + large batch so random secret sets carry many duplicates (the
+    // fixed set is duplicate-free): stash occupancy, and therefore the
+    // sparse checkpoint's record count, separates the groups.
+    VerifyConfig config = StoreConfigFor(Subject::kRawOram, 61, 16);
+    config.rows = 16;
+    const std::string scratch =
+        testing::TempDir() + "secemb_verify_sparse";
+    const GeneratorFactory sparse = MakeDurableRawOramFactory(
+        config, scratch, /*recovered=*/false,
+        /*sparse_negative_control=*/true);
+    const StatisticalResult r = RunStatisticalWith(config, sparse);
+    EXPECT_FALSE(r.passed)
+        << "an occupancy-dependent checkpoint schedule was certified as "
+           "oblivious; the durable-tier statistical check is vacuous";
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+}
+
+TEST(StoreVerifyTest, RecoveryRefusesSparseCheckpoints)
+{
+    const VerifyConfig config = StoreConfigFor(Subject::kRawOram, 67, 4);
+    const std::string scratch =
+        testing::TempDir() + "secemb_verify_sparse_recover";
+    const GeneratorFactory bad = MakeDurableRawOramFactory(
+        config, scratch, /*recovered=*/true,
+        /*sparse_negative_control=*/true);
+    sidechannel::TraceRecorder rec;
+    EXPECT_THROW((void)bad(1, &rec), std::exception)
+        << "recovering from a sparse (negative-control) checkpoint must "
+           "fail closed";
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+}
+
+TEST(StoreVerifyTest, RecoveredCorpusIsSmallAndRawOramOnly)
+{
+    const auto corpus = RecoveredCorpus(7);
+    ASSERT_FALSE(corpus.empty());
+    EXPECT_LE(corpus.size(), 3u);
+    for (const VerifyConfig& c : corpus) {
+        EXPECT_EQ(c.subject, Subject::kRawOram);
+    }
 }
 
 }  // namespace
