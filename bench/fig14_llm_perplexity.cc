@@ -16,6 +16,7 @@
 #include "bench_util/bench_util.h"
 #include "llm/corpus.h"
 #include "llm/gpt.h"
+#include "tensor/kernels/kernels.h"
 
 using namespace secemb;
 
@@ -42,6 +43,7 @@ main(int argc, char** argv)
         {"step", "table perplexity", "DHE perplexity"});
 
     std::vector<float> final_ppl(2, 0.0f);
+    std::vector<float> quant_ppl(2, 0.0f);  // DHE at bf16 / int8
     std::vector<std::vector<float>> curves(2);
     for (int which = 0; which < 2; ++which) {
         Rng rng(42);  // identical init schedule for the shared trunk
@@ -67,6 +69,23 @@ main(int argc, char** argv)
                 model.TrainStep(tokens, batch, seq, opt);
             }
         }
+        // Table V extension: the finetuned DHE embedding served at
+        // bf16/int8 through the quantized kernel tier (training and the
+        // table baseline stay f32). One shared eval batch isolates the
+        // precision effect from sampling noise.
+        if (which == 1) {
+            const auto eval = heldout.Sample(batch, seq + 1);
+            final_ppl[1] = nn::Perplexity(
+                model.EvalLoss(eval, batch, seq));
+            const kernels::Dtype dtypes[] = {kernels::Dtype::kBf16,
+                                             kernels::Dtype::kInt8};
+            for (int d = 0; d < 2; ++d) {
+                model.token_dhe()->set_dtype(dtypes[d]);
+                quant_ppl[static_cast<size_t>(d)] = nn::Perplexity(
+                    model.EvalLoss(eval, batch, seq));
+            }
+            model.token_dhe()->set_dtype(kernels::Dtype::kF32);
+        }
     }
     for (size_t i = 0; i < curves[0].size(); ++i) {
         table.AddRow({std::to_string(i * 10),
@@ -79,6 +98,11 @@ main(int argc, char** argv)
         100.0f * (final_ppl[1] - final_ppl[0]) / final_ppl[0];
     std::printf("\nfinal perplexity: table %.2f, DHE %.2f "
                 "(DHE gap: %+.1f%%)\n", final_ppl[0], final_ppl[1], gap);
+    std::printf("low-precision DHE inference: bf16 %.2f (%+.1f%%), "
+                "int8 %.2f (%+.1f%%)\n", quant_ppl[0],
+                100.0f * (quant_ppl[0] - final_ppl[1]) / final_ppl[1],
+                quant_ppl[1],
+                100.0f * (quant_ppl[1] - final_ppl[1]) / final_ppl[1]);
     std::printf(
         "\nExpected shape (paper Fig. 14): both curves fall together and\n"
         "converge to nearly the same perplexity (paper: 2.7%% gap after\n"

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -411,11 +412,66 @@ BENCHMARK(BM_GemmKernelPackedFused)
     ->Args({256, 64})
     ->ArgNames({"k", "n"});
 
-/** Full decoder chain 1024->512->256->64; 0 = naive, 1 = packed+fused. */
+/**
+ * Low-precision variants of the fused packed path: weights quantize on
+ * pack (bf16 round-to-nearest-even / int8 per-column symmetric), int8 A
+ * rows quantize dynamically per call, and dequant rides the fused
+ * epilogue. Same decoder shapes as the f32 bench so the per-precision
+ * speedup reads straight out of BENCH_gemm_kernel.json.
+ */
+void
+GemmKernelPackedDtype(benchmark::State& state, kernels::Dtype dtype)
+{
+    const int64_t m = kDecoderBatch, k = state.range(0), n = state.range(1);
+    Rng rng(21);
+    const Tensor x = Tensor::Randn({m, k}, rng);
+    const Tensor w = Tensor::Randn({k, n}, rng);
+    const Tensor bias = Tensor::Randn({n}, rng);
+    Tensor c({m, n});
+    for (auto _ : state) {
+        AffineActForward(x, w, bias, c, 1, kernels::Activation::kRelu,
+                         nullptr, dtype);
+        benchmark::DoNotOptimize(c.data());
+    }
+    SetGemmCounters(state, m, k, n);
+    kernels::PackedWeightCache::Instance().Clear();
+}
+
+void
+BM_GemmKernelPackedBf16(benchmark::State& state)
+{
+    GemmKernelPackedDtype(state, kernels::Dtype::kBf16);
+}
+BENCHMARK(BM_GemmKernelPackedBf16)
+    ->Args({1024, 512})
+    ->Args({512, 256})
+    ->Args({256, 64})
+    ->ArgNames({"k", "n"});
+
+void
+BM_GemmKernelPackedInt8(benchmark::State& state)
+{
+    GemmKernelPackedDtype(state, kernels::Dtype::kInt8);
+}
+BENCHMARK(BM_GemmKernelPackedInt8)
+    ->Args({1024, 512})
+    ->Args({512, 256})
+    ->Args({256, 64})
+    ->ArgNames({"k", "n"});
+
+/**
+ * Full decoder chain 1024->512->256->64; 0 = naive, 1 = packed+fused
+ * f32, 2 = bf16, 3 = int8. The int8-vs-f32 ratio here is the
+ * acceptance number for the low-precision tier (single-thread, decoder
+ * shapes).
+ */
 void
 BM_GemmKernelDecoderChain(benchmark::State& state)
 {
-    const bool fused = state.range(0) != 0;
+    const int variant = static_cast<int>(state.range(0));
+    const kernels::Dtype dtype = variant == 2   ? kernels::Dtype::kBf16
+                                 : variant == 3 ? kernels::Dtype::kInt8
+                                                : kernels::Dtype::kF32;
     static const int64_t kSizes[] = {1024, 512, 256, 64};
     Rng rng(22);
     const Tensor x = Tensor::Randn({kDecoderBatch, kSizes[0]}, rng);
@@ -433,9 +489,10 @@ BM_GemmKernelDecoderChain(benchmark::State& state)
     for (auto _ : state) {
         const Tensor* in = &x;
         for (int l = 0; l < 3; ++l) {
-            if (fused) {
+            if (variant != 0) {
                 AffineActForward(*in, weights[l], biases[l], outs[l], 1,
-                                 kernels::Activation::kRelu);
+                                 kernels::Activation::kRelu, nullptr,
+                                 dtype);
             } else {
                 GemmNaive(*in, weights[l], outs[l]);
                 BiasReluPasses(outs[l], biases[l]);
@@ -452,7 +509,38 @@ BM_GemmKernelDecoderChain(benchmark::State& state)
 BENCHMARK(BM_GemmKernelDecoderChain)
     ->Arg(0)
     ->Arg(1)
-    ->ArgNames({"fused(0=naive,1=packed+fused)"});
+    ->Arg(2)
+    ->Arg(3)
+    ->ArgNames({"variant(0=naive,1=f32,2=bf16,3=int8)"});
+
+/**
+ * Skinny-m scaling: decoder GEMMs at serving batch sizes (m <= 8) have
+ * tiles_m = 1, so only the 2-D column-panel split can use extra
+ * threads. Registered from main() over the --threads sweep (default
+ * 1/2/4/8) at the two big decoder layers; `hw_threads` is recorded per
+ * run so cross-machine trajectory comparisons can tell "no cores" from
+ * "no scaling".
+ */
+void
+BM_GemmKernelSkinnyM(benchmark::State& state)
+{
+    const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+    const int nthreads = static_cast<int>(state.range(3));
+    Rng rng(23);
+    const Tensor x = Tensor::Randn({m, k}, rng);
+    const Tensor w = Tensor::Randn({k, n}, rng);
+    const Tensor bias = Tensor::Randn({n}, rng);
+    Tensor c({m, n});
+    for (auto _ : state) {
+        AffineActForward(x, w, bias, c, nthreads,
+                         kernels::Activation::kRelu);
+        benchmark::DoNotOptimize(c.data());
+    }
+    SetGemmCounters(state, m, k, n);
+    state.counters["hw_threads"] = benchmark::Counter(
+        static_cast<double>(std::thread::hardware_concurrency()));
+    kernels::PackedWeightCache::Instance().Clear();
+}
 
 /**
  * Console reporter that additionally captures every run so main() can
@@ -500,10 +588,11 @@ class CollectingReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char** argv)
 {
-    // Peel off --json <path> and the optional `gemm-kernel` mode word
-    // (ours) before google-benchmark sees the command line; everything
-    // else passes through untouched.
+    // Peel off --json <path>, --threads <list>, and the optional
+    // `gemm-kernel` mode word (ours) before google-benchmark sees the
+    // command line; everything else passes through untouched.
     std::string json_path;
+    std::string threads_arg = "1,2,4,8";
     std::string report_name = "micro_primitives";
     bool gemm_mode = false;
     bool user_filter = false;
@@ -515,6 +604,9 @@ main(int argc, char** argv)
             report_name = "gemm_kernel";
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads_arg = argv[++i];
         } else {
             if (std::strncmp(argv[i], "--benchmark_filter=", 19) == 0) {
                 user_filter = true;
@@ -531,6 +623,32 @@ main(int argc, char** argv)
     if (benchmark::ReportUnrecognizedArguments(filtered_argc,
                                                passthrough.data())) {
         return 1;
+    }
+
+    // The skinny-m thread sweep registers here so --threads can change
+    // the sweep list (default 1,2,4,8) without rebuilding.
+    {
+        std::vector<int64_t> threads;
+        std::string tok;
+        for (char ch : threads_arg + ",") {
+            if (ch == ',') {
+                if (!tok.empty()) threads.push_back(std::atoll(tok.c_str()));
+                tok.clear();
+            } else {
+                tok.push_back(ch);
+            }
+        }
+        static const int64_t kSkinnyShapes[][3] = {
+            {1, 1024, 512}, {4, 1024, 512}, {8, 512, 256}};
+        for (const auto& shape : kSkinnyShapes) {
+            for (int64_t t : threads) {
+                auto* bench = benchmark::RegisterBenchmark(
+                    "BM_GemmKernelSkinnyM", secemb::BM_GemmKernelSkinnyM);
+                bench->Args({shape[0], shape[1], shape[2], t})
+                    ->ArgNames({"m", "k", "n", "threads"})
+                    ->UseRealTime();
+            }
+        }
     }
 
     secemb::CollectingReporter reporter;

@@ -18,6 +18,7 @@
 #include "dhe/dhe.h"
 #include "dlrm/dataset.h"
 #include "dlrm/model.h"
+#include "tensor/kernels/kernels.h"
 
 using namespace secemb;
 
@@ -53,6 +54,18 @@ main(int argc, char** argv)
         {"DHE Uniform", dlrm::EmbeddingMode::kDheUniform},
         {"DHE Varied", dlrm::EmbeddingMode::kDheVaried}};
 
+    // Held-out accuracy on a fresh stream from the same ground truth.
+    auto held_out_acc = [&](dlrm::TrainableDlrm& model) {
+        dlrm::SyntheticCtrDataset test(cfg, 1);
+        for (int skip = 0; skip < steps; ++skip) test.NextBatch(batch);
+        float acc = 0.0f;
+        const int eval_batches = 16;
+        for (int e = 0; e < eval_batches; ++e) {
+            acc += model.Evaluate(test.NextBatch(128)) / eval_batches;
+        }
+        return acc;
+    };
+
     for (const auto& [name, mode] : modes) {
         Rng rng(100);
         dlrm::TrainableDlrm model(
@@ -64,20 +77,38 @@ main(int argc, char** argv)
         for (int step = 0; step < steps; ++step) {
             loss = model.TrainStep(train.NextBatch(batch), opt);
         }
-        // Held-out accuracy on a fresh stream from the same ground truth.
-        dlrm::SyntheticCtrDataset test(cfg, 1);
-        for (int skip = 0; skip < steps; ++skip) test.NextBatch(batch);
-        float acc = 0.0f;
-        const int eval_batches = 16;
-        for (int e = 0; e < eval_batches; ++e) {
-            acc += model.Evaluate(test.NextBatch(128)) / eval_batches;
-        }
         table.AddRow({name, bench::TablePrinter::Num(loss, 4),
-                      bench::TablePrinter::Num(100.0f * acc, 2) + "%"});
+                      bench::TablePrinter::Num(100.0f * held_out_acc(model),
+                                               2) +
+                          "%"});
+
+        // Low-precision inference parity (Table V extension): the same
+        // trained DHE Uniform decoder served at bf16/int8, exercising
+        // the quantize-on-pack kernel tier end to end. Training stays
+        // f32; only the forward GEMM precision changes.
+        if (mode == dlrm::EmbeddingMode::kDheUniform) {
+            const std::vector<std::pair<const char*, kernels::Dtype>>
+                precisions{{"DHE Uniform (bf16 inference)",
+                            kernels::Dtype::kBf16},
+                           {"DHE Uniform (int8 inference)",
+                            kernels::Dtype::kInt8}};
+            for (const auto& [pname, dtype] : precisions) {
+                for (int64_t f = 0; f < features; ++f) {
+                    model.dhe(f)->set_dtype(dtype);
+                }
+                table.AddRow({pname, bench::TablePrinter::Num(loss, 4),
+                              bench::TablePrinter::Num(
+                                  100.0f * held_out_acc(model), 2) +
+                                  "%"});
+            }
+        }
     }
     table.Print();
     std::printf(
         "\nExpected (paper Table V): all three representations reach the\n"
-        "same accuracy to within noise — DHE sized for no accuracy loss.\n");
+        "same accuracy to within noise — DHE sized for no accuracy loss.\n"
+        "The bf16/int8 rows serve the same trained decoder through the\n"
+        "quantized kernel tier: accuracy parity shows precision is a\n"
+        "latency knob, not part of the security or accuracy argument.\n");
     return 0;
 }

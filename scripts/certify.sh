@@ -4,10 +4,13 @@
 #
 # Builds the repo, runs the leakage-labelled test suite (differential
 # trace fuzzing, statistical fixed-vs-random checks, golden-trace
-# snapshots), runs the kernel gate under both the scalar and the widest
-# GEMM tier (SECEMB_ISA), then rebuilds the verify harness under
-# ASan+UBSan and re-runs a full secemb-verify sweep under
-# instrumentation. Finally chains into scripts/chaos.sh so the
+# snapshots) once per kernel precision (SECEMB_PRECISION=f32|bf16|int8),
+# runs the kernel gate under both the scalar and the widest GEMM tier
+# (SECEMB_ISA) crossed with every precision, then rebuilds the verify
+# harness under ASan+UBSan and re-runs a full secemb-verify sweep under
+# instrumentation. The precision cross proves the low-precision tiers
+# keep canonical traces bit-identical — quantization is a latency knob,
+# never part of the security argument. Finally chains into scripts/chaos.sh so the
 # fault-injected serving path is certified alongside the fault-free
 # generators.
 #
@@ -41,23 +44,41 @@ echo "== [1/5] Build =="
 cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
-echo "== [2/5] Leakage test suite (ctest -L leakage) =="
-ctest --test-dir "${BUILD_DIR}" -L leakage --output-on-failure
+PRECISIONS=(f32 bf16 int8)
 
-echo "== [3/5] Kernel gate under forced scalar tier (SECEMB_ISA=scalar) =="
-SECEMB_ISA=scalar ctest --test-dir "${BUILD_DIR}" -L kernels \
-    --output-on-failure
+echo "== [2/5] Leakage test suite per precision (ctest -L leakage) =="
+for prec in "${PRECISIONS[@]}"; do
+    echo "-- leakage @ SECEMB_PRECISION=${prec} --"
+    SECEMB_PRECISION="${prec}" ctest --test-dir "${BUILD_DIR}" -L leakage \
+        --output-on-failure
+done
 
-echo "== [3/5] Kernel gate under the widest supported tier =="
-env -u SECEMB_ISA ctest --test-dir "${BUILD_DIR}" -L kernels \
-    --output-on-failure
+echo "== [3/5] Kernel gate: forced scalar tier x each precision =="
+for prec in "${PRECISIONS[@]}"; do
+    echo "-- kernels @ SECEMB_ISA=scalar SECEMB_PRECISION=${prec} --"
+    SECEMB_ISA=scalar SECEMB_PRECISION="${prec}" \
+        ctest --test-dir "${BUILD_DIR}" -L kernels --output-on-failure
+done
 
-echo "== Full certification sweep (secemb-verify, seed ${SEED}) =="
+echo "== [3/5] Kernel gate: widest supported tier x each precision =="
+for prec in "${PRECISIONS[@]}"; do
+    echo "-- kernels @ widest tier, SECEMB_PRECISION=${prec} --"
+    env -u SECEMB_ISA SECEMB_PRECISION="${prec}" \
+        ctest --test-dir "${BUILD_DIR}" -L kernels --output-on-failure
+done
+
+echo "== Full certification sweep per precision (secemb-verify, seed ${SEED}) =="
 # --recovered adds the durable-tier arm: crash-recovered RAW ORAM
-# instances must certify exactly like fresh ones.
-"${BUILD_DIR}/src/verify/secemb-verify" --seed="${SEED}" --recovered \
-    --json="${BUILD_DIR}/certify_report.json"
-echo "report: ${BUILD_DIR}/certify_report.json"
+# instances must certify exactly like fresh ones. Every precision tier
+# must certify identically: generator traces are recorded above the
+# GEMM, so SECEMB_PRECISION cannot change them.
+for prec in "${PRECISIONS[@]}"; do
+    echo "-- secemb-verify @ SECEMB_PRECISION=${prec} --"
+    SECEMB_PRECISION="${prec}" "${BUILD_DIR}/src/verify/secemb-verify" \
+        --seed="${SEED}" --recovered \
+        --json="${BUILD_DIR}/certify_report_${prec}.json"
+    echo "report: ${BUILD_DIR}/certify_report_${prec}.json"
+done
 
 if [[ "${SKIP_ASAN}" -eq 1 ]]; then
     echo "== [4/5] ASan verify run skipped (--skip-asan) =="

@@ -46,6 +46,10 @@ class DheGenerator : public EmbeddingGenerator
     {
         dhe_->set_nthreads(nthreads);
     }
+    void set_precision(kernels::Dtype dtype) override
+    {
+        dhe_->set_dtype(dtype);
+    }
 
     dhe::DheEmbedding& dhe() { return *dhe_; }
 

@@ -20,6 +20,7 @@
 
 #include "serving/status.h"
 #include "sidechannel/trace.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/tensor.h"
 
 namespace secemb::core {
@@ -81,6 +82,15 @@ class EmbeddingGenerator
 
     /** Worker threads used for a batch (default: single-threaded). */
     virtual void set_nthreads(int nthreads) { (void)nthreads; }
+
+    /**
+     * Select the GEMM weight precision for compute-based generators
+     * (DHE decoder, hybrid's DHE side): f32 / bf16 / int8
+     * quantize-on-pack. Table-based generators have no GEMM and ignore
+     * it. Precision changes arithmetic only — the memory access pattern
+     * (and hence the canonical trace) is unchanged at every setting.
+     */
+    virtual void set_precision(kernels::Dtype dtype) { (void)dtype; }
 
     /** Attach/detach a memory trace recorder (nullptr to detach). */
     virtual void set_recorder(sidechannel::TraceRecorder* recorder)

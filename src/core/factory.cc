@@ -119,21 +119,29 @@ MakeGenerator(GenKind kind, int64_t table_size, int64_t dim, Rng& rng,
         const Tensor t = table();
         return std::make_unique<RawOramTable>(t, rng, sc, rc);
       }
-      case GenKind::kDheUniform:
-        return std::make_unique<DheGenerator>(
+      case GenKind::kDheUniform: {
+        auto g = std::make_unique<DheGenerator>(
             MakeDhe(false, table_size, dim, rng, opt), table_size);
-      case GenKind::kDheVaried:
-        return std::make_unique<DheGenerator>(
+        g->set_precision(opt.precision);
+        return g;
+      }
+      case GenKind::kDheVaried: {
+        auto g = std::make_unique<DheGenerator>(
             MakeDhe(true, table_size, dim, rng, opt), table_size);
+        g->set_precision(opt.precision);
+        return g;
+      }
       case GenKind::kHybridUniform:
       case GenKind::kHybridVaried: {
         static const ThresholdTable kDefault;  // empty -> 4096 fallback
         const ThresholdTable& thr =
             opt.thresholds ? *opt.thresholds : kDefault;
-        return std::make_unique<HybridGenerator>(
+        auto g = std::make_unique<HybridGenerator>(
             MakeDhe(kind == GenKind::kHybridVaried, table_size, dim, rng,
                     opt),
             table_size, thr, opt.batch_size, opt.nthreads);
+        g->set_precision(opt.precision);
+        return g;
       }
     }
     return nullptr;

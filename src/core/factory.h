@@ -47,6 +47,13 @@ struct GeneratorOptions
     /** Execution configuration, consumed by the hybrid planner. */
     int batch_size = 32;
     int nthreads = 1;
+    /**
+     * GEMM weight precision for the compute-based kinds (DHE decoder,
+     * hybrid's DHE side); table kinds have no GEMM and ignore it.
+     * Defaults to the process-wide kernels::ActiveDtype()
+     * (SECEMB_PRECISION env var, f32 when unset).
+     */
+    kernels::Dtype precision = kernels::ActiveDtype();
     /** Profiled thresholds for hybrid kinds (nullptr: built-in default). */
     const ThresholdTable* thresholds = nullptr;
     /** ORAM overrides for the ORAM kinds (nullptr: paper defaults). */

@@ -208,4 +208,10 @@ HybridGenerator::set_nthreads(int nthreads)
     Active().set_nthreads(nthreads);
 }
 
+void
+HybridGenerator::set_precision(kernels::Dtype dtype)
+{
+    dhe_->set_dtype(dtype);
+}
+
 }  // namespace secemb::core

@@ -121,6 +121,8 @@ class HybridGenerator : public EmbeddingGenerator
     void set_nthreads(int nthreads) override;
     /** Forwarded to both constituents (whichever is active records). */
     void set_recorder(sidechannel::TraceRecorder* recorder) override;
+    /** Forwarded to the DHE decoder; the scan side has no GEMM. */
+    void set_precision(kernels::Dtype dtype) override;
 
     /** Re-run the online decision for a new execution configuration. */
     void Reconfigure(const ThresholdTable& thresholds, int batch_size,

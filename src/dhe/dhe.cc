@@ -68,7 +68,8 @@ DheConfig::DecoderParams() const
 }
 
 DheEmbedding::DheEmbedding(const DheConfig& config, Rng& rng, int nthreads)
-    : config_(config), encoder_(config.k, config.hash_buckets, rng)
+    : config_(config), encoder_(config.k, config.hash_buckets, rng),
+      nthreads_(nthreads)
 {
     std::vector<int64_t> sizes;
     sizes.push_back(config.k);
@@ -84,7 +85,7 @@ DheEmbedding::Forward(std::span<const int64_t> ids)
     TELEMETRY_SCOPED_LATENCY("dhe.forward.ns");
     TELEMETRY_COUNT("dhe.forward.calls", 1);
     TELEMETRY_COUNT("dhe.forward.ids", ids.size());
-    const Tensor encoded = encoder_.Encode(ids);
+    const Tensor encoded = encoder_.Encode(ids, nthreads_);
     return decoder_->Forward(encoded);
 }
 
@@ -123,9 +124,20 @@ DheEmbedding::ToTable(int64_t table_size)
 void
 DheEmbedding::set_nthreads(int n)
 {
+    nthreads_ = n;
     for (size_t i = 0; i < decoder_->size(); ++i) {
         if (auto* lin = dynamic_cast<nn::Linear*>(&decoder_->at(i))) {
             lin->set_nthreads(n);
+        }
+    }
+}
+
+void
+DheEmbedding::set_dtype(kernels::Dtype dtype)
+{
+    for (size_t i = 0; i < decoder_->size(); ++i) {
+        if (auto* lin = dynamic_cast<nn::Linear*>(&decoder_->at(i))) {
+            lin->set_dtype(dtype);
         }
     }
 }

@@ -85,10 +85,18 @@ class DheEmbedding
 
     void set_nthreads(int n);
 
+    /**
+     * Decoder weight precision for Forward (f32 / bf16 / int8
+     * quantize-on-pack in the persistent weight cache). Training
+     * (Backward) is unaffected — gradients always run f32.
+     */
+    void set_dtype(kernels::Dtype dtype);
+
   private:
     DheConfig config_;
     HashEncoder encoder_;
     std::unique_ptr<nn::Sequential> decoder_;
+    int nthreads_ = 1;  ///< shared by the encoder and decoder GEMMs
 };
 
 }  // namespace secemb::dhe

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * AVX2 multi-hash kernel: 8 hash lanes per iteration as two 4x64-bit
+ * vectors. Compiled with -mavx2 -mfma on this TU only; hashing.cc
+ * dispatches to it only when kernels::ActiveIsa() resolves at least
+ * the AVX2 tier.
+ */
+
+#include <immintrin.h>
+
+#include "dhe/hash_kernels.h"
+
+namespace secemb::dhe::detail {
+
+namespace {
+
+constexpr uint64_t kPrime = (uint64_t{1} << 31) - 1;
+
+/** (a * xr + b) mod p for 4 u64 lanes (inputs < 2^31). */
+inline __m256i
+MersenneMod(__m256i a, __m256i b, __m256i x, __m256i p)
+{
+    __m256i t = _mm256_add_epi64(_mm256_mul_epu32(a, x), b);
+    t = _mm256_add_epi64(_mm256_srli_epi64(t, 31),
+                         _mm256_and_si256(t, p));
+    t = _mm256_add_epi64(_mm256_srli_epi64(t, 31),
+                         _mm256_and_si256(t, p));
+    // t <= p + 1 here; lanes are far below 2^63, so the signed compare
+    // is exact.
+    const __m256i ge = _mm256_cmpgt_epi64(t, _mm256_sub_epi64(
+                                                 p, _mm256_set1_epi64x(1)));
+    return _mm256_sub_epi64(t, _mm256_and_si256(ge, p));
+}
+
+/** y mod m for 4 u64 lanes via 32-bit Barrett (y < 2^31, m < 2^31). */
+inline __m256i
+BarrettMod(__m256i y, __m256i m, __m256i mu)
+{
+    const __m256i q = _mm256_srli_epi64(_mm256_mul_epu32(y, mu), 32);
+    __m256i rem = _mm256_sub_epi64(y, _mm256_mul_epu32(q, m));
+    const __m256i ge = _mm256_cmpgt_epi64(
+        rem, _mm256_sub_epi64(m, _mm256_set1_epi64x(1)));
+    return _mm256_sub_epi64(rem, _mm256_and_si256(ge, m));
+}
+
+}  // namespace
+
+void
+HashRowAvx2(const HashRowArgs& args)
+{
+    const __m256i p = _mm256_set1_epi64x(static_cast<int64_t>(kPrime));
+    const __m256i x = _mm256_set1_epi64x(static_cast<int64_t>(args.xr));
+    const __m256i m = _mm256_set1_epi64x(static_cast<int64_t>(args.m));
+    const __m256i mu = _mm256_set1_epi64x(static_cast<int64_t>(args.mu));
+    const __m256 vscale = _mm256_set1_ps(args.scale);
+    const __m256 vneg1 = _mm256_set1_ps(-1.0f);
+    // Low dwords of the 4 u64 lanes of each half, in order.
+    const __m256i pack_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+
+    int64_t j = 0;
+    for (; j + 8 <= args.k; j += 8) {
+        const __m256i a0 = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(args.a + j)));
+        const __m256i a1 = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(args.a + j + 4)));
+        const __m256i b0 = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(args.b + j)));
+        const __m256i b1 = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(args.b + j + 4)));
+        __m256i y0 = MersenneMod(a0, b0, x, p);
+        __m256i y1 = MersenneMod(a1, b1, x, p);
+        if (!args.mod_identity) {
+            y0 = BarrettMod(y0, m, mu);
+            y1 = BarrettMod(y1, m, mu);
+        }
+        const __m256i lo0 = _mm256_permutevar8x32_epi32(y0, pack_idx);
+        const __m256i lo1 = _mm256_permutevar8x32_epi32(y1, pack_idx);
+        const __m256i packed = _mm256_inserti128_si256(
+            lo0, _mm256_castsi256_si128(lo1), 1);
+        const __m256 f = _mm256_cvtepi32_ps(packed);
+        _mm256_storeu_ps(args.row + j,
+                         _mm256_fmadd_ps(f, vscale, vneg1));
+    }
+    if (j < args.k) {
+        HashRowArgs tail = args;
+        tail.a += j;
+        tail.b += j;
+        tail.k = args.k - j;
+        tail.row += j;
+        HashRowScalar(tail);
+    }
+}
+
+}  // namespace secemb::dhe::detail

@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Internal SIMD kernels for the DHE universal multi-hash (Algorithm 1
+ * step 1+2). One call encodes one id across all k hash lanes:
+ *
+ *     y_j = ((a_j * x + b_j) mod p) mod m,    row[j] = fma(y_j, s, -1)
+ *
+ * with p = 2^31 - 1 (Mersenne). The id is pre-reduced once per row,
+ * x_r = uint64(id) mod p, which is exact because
+ * (a x + b) mod p == (a (x mod p) + b) mod p; after that every
+ * intermediate fits in 64 bits:
+ *
+ *   - a_j * x_r + b_j <= (p-1)^2 + (p-1) < 2^62
+ *   - mod p by Mersenne folding: t = (t >> 31) + (t & p), twice
+ *     (first fold brings t under 2^32, second under p + 2), then one
+ *     conditional subtract
+ *   - mod m by 32-bit Barrett: with mu = floor(2^32 / m) the estimate
+ *     q = (y * mu) >> 32 is floor(y/m) or one less, so the remainder
+ *     needs at most one conditional subtract. When m > p the outer
+ *     mod is the identity (y < p < m) and the step is skipped.
+ *
+ * Every tier produces bit-identical integers, and the final transform
+ * is a correctly-rounded fused multiply-add on every tier (std::fmaf /
+ * vfmadd), so the f32 outputs are bit-identical too — pinned against
+ * HashEncoder::EncodeReference by tests.
+ *
+ * All arithmetic is data-oblivious: lane values never steer control
+ * flow or addresses (the identity-vs-Barrett branch depends only on
+ * the public bucket count m).
+ */
+
+#include <cstdint>
+
+namespace secemb::dhe::detail {
+
+/** One row's worth of multi-hash work (k lanes for a single id). */
+struct HashRowArgs
+{
+    const uint32_t* a;  ///< k multipliers, in [1, p-1]
+    const uint32_t* b;  ///< k offsets, in [0, p-1]
+    int64_t k;
+    uint32_t xr;        ///< uint64(id) mod p
+    uint32_t m;         ///< bucket count (valid when !mod_identity)
+    uint32_t mu;        ///< floor(2^32 / m) (valid when !mod_identity)
+    bool mod_identity;  ///< m > p: outer mod m is a no-op
+    float scale;        ///< 2 / (m - 1)
+    float* row;         ///< k outputs in [-1, 1]
+};
+
+using HashRowFn = void (*)(const HashRowArgs&);
+
+/** Portable u64 tier (baseline target; also the SIMD kernels' tail). */
+void HashRowScalar(const HashRowArgs& args);
+
+#if defined(SECEMB_DHE_AVX2)
+void HashRowAvx2(const HashRowArgs& args);
+#endif
+#if defined(SECEMB_DHE_AVX512)
+void HashRowAvx512(const HashRowArgs& args);
+#endif
+
+}  // namespace secemb::dhe::detail

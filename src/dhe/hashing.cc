@@ -1,30 +1,138 @@
 #include "dhe/hashing.h"
 
 #include <cassert>
+#include <cmath>
+
+#include "dhe/hash_kernels.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/parallel.h"
 
 namespace secemb::dhe {
+
+namespace detail {
+
+void
+HashRowScalar(const HashRowArgs& args)
+{
+    constexpr uint64_t kP = (uint64_t{1} << 31) - 1;
+    const uint64_t x = args.xr;
+    const uint64_t m = args.m;
+    const uint64_t mu = args.mu;
+    for (int64_t j = 0; j < args.k; ++j) {
+        uint64_t t = static_cast<uint64_t>(args.a[j]) * x + args.b[j];
+        t = (t >> 31) + (t & kP);
+        t = (t >> 31) + (t & kP);
+        if (t >= kP) t -= kP;
+        if (!args.mod_identity) {
+            const uint64_t q = (t * mu) >> 32;
+            t -= q * m;
+            if (t >= m) t -= m;
+        }
+        // Single-rounding fma on every tier keeps the f32 outputs
+        // bit-identical to the SIMD kernels' vfmadd.
+        args.row[j] =
+            std::fmaf(static_cast<float>(t), args.scale, -1.0f);
+    }
+}
+
+namespace {
+
+/** Hash-row kernel for the active ISA tier (resolved per Encode call so
+ *  SECEMB_ISA / SetIsaForTest changes take effect immediately). */
+HashRowFn
+ActiveHashRowFn()
+{
+    switch (kernels::ActiveIsa()) {
+#if defined(SECEMB_DHE_AVX512)
+      case kernels::Isa::kAvx512: return &HashRowAvx512;
+#endif
+#if defined(SECEMB_DHE_AVX2)
+      case kernels::Isa::kAvx2: return &HashRowAvx2;
+#endif
+      default: return &HashRowScalar;
+    }
+}
+
+}  // namespace
+
+}  // namespace detail
 
 HashEncoder::HashEncoder(int64_t k, int64_t m, Rng& rng) : k_(k), m_(m)
 {
     assert(k > 0 && m > 1);
     a_.resize(static_cast<size_t>(k));
     b_.resize(static_cast<size_t>(k));
+    a32_.resize(static_cast<size_t>(k));
+    b32_.resize(static_cast<size_t>(k));
     for (int64_t i = 0; i < k; ++i) {
         a_[static_cast<size_t>(i)] = static_cast<int64_t>(
             1 + rng.NextBounded(static_cast<uint64_t>(kPrime - 1)));
         b_[static_cast<size_t>(i)] = static_cast<int64_t>(
             rng.NextBounded(static_cast<uint64_t>(kPrime)));
+        a32_[static_cast<size_t>(i)] =
+            static_cast<uint32_t>(a_[static_cast<size_t>(i)]);
+        b32_[static_cast<size_t>(i)] =
+            static_cast<uint32_t>(b_[static_cast<size_t>(i)]);
+    }
+    // ((a x + b) mod p) mod m: when m > p the hash value is already
+    // below m and the outer mod is the identity; otherwise m fits u32
+    // and a 32-bit Barrett constant makes it division-free.
+    mod_identity_ = m_ > kPrime;
+    if (!mod_identity_) {
+        barrett_mu_ = static_cast<uint32_t>(
+            (uint64_t{1} << 32) / static_cast<uint64_t>(m_));
     }
 }
 
 void
-HashEncoder::Encode(std::span<const int64_t> ids, Tensor& out) const
+HashEncoder::Encode(std::span<const int64_t> ids, Tensor& out,
+                    int nthreads) const
+{
+    const int64_t n = static_cast<int64_t>(ids.size());
+    assert(out.dim() == 2 && out.size(0) == n && out.size(1) == k_);
+    const float scale = 2.0f / static_cast<float>(m_ - 1);
+    const detail::HashRowFn row_fn = detail::ActiveHashRowFn();
+    float* out_p = out.data();
+    ParallelFor(n, nthreads, [&](int64_t row_begin, int64_t row_end) {
+        detail::HashRowArgs args;
+        args.a = a32_.data();
+        args.b = b32_.data();
+        args.k = k_;
+        args.m = static_cast<uint32_t>(mod_identity_ ? 0 : m_);
+        args.mu = barrett_mu_;
+        args.mod_identity = mod_identity_;
+        args.scale = scale;
+        for (int64_t i = row_begin; i < row_end; ++i) {
+            // Reduce the full-width id once; exact because
+            // (a x + b) mod p == (a (x mod p) + b) mod p.
+            args.xr = static_cast<uint32_t>(
+                static_cast<uint64_t>(ids[static_cast<size_t>(i)]) %
+                static_cast<uint64_t>(kPrime));
+            args.row = out_p + i * k_;
+            row_fn(args);
+        }
+    });
+}
+
+Tensor
+HashEncoder::Encode(std::span<const int64_t> ids, int nthreads) const
+{
+    Tensor out({static_cast<int64_t>(ids.size()), k_});
+    Encode(ids, out, nthreads);
+    return out;
+}
+
+void
+HashEncoder::EncodeReference(std::span<const int64_t> ids,
+                             Tensor& out) const
 {
     const int64_t n = static_cast<int64_t>(ids.size());
     assert(out.dim() == 2 && out.size(0) == n && out.size(1) == k_);
     const float scale = 2.0f / static_cast<float>(m_ - 1);
     for (int64_t i = 0; i < n; ++i) {
-        // 128-bit intermediate avoids overflow of a*x for ids up to 2^63.
+        // 128-bit intermediate avoids overflow of a*x for any int64 id
+        // (two's-complement bit pattern, see the header's id-domain
+        // contract).
         const unsigned __int128 x = static_cast<unsigned __int128>(
             static_cast<uint64_t>(ids[static_cast<size_t>(i)]));
         float* row = out.data() + i * k_;
@@ -36,17 +144,10 @@ HashEncoder::Encode(std::span<const int64_t> ids, Tensor& out) const
                 static_cast<uint64_t>(b_[static_cast<size_t>(j)]);
             const int64_t y = static_cast<int64_t>(
                 ax % static_cast<uint64_t>(kPrime)) % m_;
-            row[j] = static_cast<float>(y) * scale - 1.0f;
+            row[j] =
+                std::fmaf(static_cast<float>(y), scale, -1.0f);
         }
     }
-}
-
-Tensor
-HashEncoder::Encode(std::span<const int64_t> ids) const
-{
-    Tensor out({static_cast<int64_t>(ids.size()), k_});
-    Encode(ids, out);
-    return out;
 }
 
 }  // namespace secemb::dhe

@@ -11,6 +11,18 @@
  * Both steps are pure arithmetic on the id — no table, no data-dependent
  * memory access, which is precisely the property the paper exploits for
  * side-channel protection.
+ *
+ * **Id domain.** Ids are accepted over the full int64_t range, including
+ * negatives: the hash operates on the two's-complement bit pattern,
+ * x = uint64_t(id), so id = -1 hashes as 2^64 - 1 (it does NOT collide
+ * with id = 1). The mapping id -> x is a bijection, so universality of
+ * the hash family is preserved. Pinned by tests over {negative ids, 0,
+ * INT64_MAX}.
+ *
+ * Encode dispatches to SIMD kernels (hash_kernels.h) selected by the
+ * active kernel ISA tier (SECEMB_ISA) and parallelises over rows; all
+ * tiers are bit-exact to EncodeReference, the kept __int128 scalar
+ * reference.
  */
 
 #include <cstdint>
@@ -38,12 +50,23 @@ class HashEncoder
 
     /**
      * Encode a batch of ids into out (n x k), each entry in [-1, 1].
-     * out must be preshaped to (ids.size(), k).
+     * out must be preshaped to (ids.size(), k). Rows are split over
+     * `nthreads` workers (each id's k lanes stay on one worker); the
+     * output is identical at any thread count.
      */
-    void Encode(std::span<const int64_t> ids, Tensor& out) const;
+    void Encode(std::span<const int64_t> ids, Tensor& out,
+                int nthreads = 1) const;
 
     /** Returning convenience wrapper. */
-    Tensor Encode(std::span<const int64_t> ids) const;
+    Tensor Encode(std::span<const int64_t> ids, int nthreads = 1) const;
+
+    /**
+     * The pinned scalar reference: per-lane 128-bit multiply + two
+     * divisions, no pre-reduction, no SIMD. Every Encode tier must
+     * match it bit-exactly (kernel_test asserts this, including the
+     * id-domain edge cases).
+     */
+    void EncodeReference(std::span<const int64_t> ids, Tensor& out) const;
 
     int64_t k() const { return k_; }
     int64_t m() const { return m_; }
@@ -55,6 +78,11 @@ class HashEncoder
     int64_t m_;
     std::vector<int64_t> a_;
     std::vector<int64_t> b_;
+    /** u32 copies of a_/b_ for the u64-lane SIMD kernels (values < p). */
+    std::vector<uint32_t> a32_;
+    std::vector<uint32_t> b32_;
+    uint32_t barrett_mu_ = 0;  ///< floor(2^32 / m) when m <= p
+    bool mod_identity_ = false;  ///< m > p: outer mod m is a no-op
 };
 
 }  // namespace secemb::dhe

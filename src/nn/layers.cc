@@ -34,7 +34,8 @@ Linear::Forward(const Tensor& x)
         cached_preact_ = Tensor({x.size(0), out_features()});
         preact = &cached_preact_;
     }
-    AffineActForward(x, w_.value, b_.value, y, nthreads_, act_, preact);
+    AffineActForward(x, w_.value, b_.value, y, nthreads_, act_, preact,
+                     dtype_);
     if (act_ == Activation::kRelu) cached_y_ = y;
     return y;
 }
@@ -79,8 +80,9 @@ Linear::Backward(const Tensor& grad_out)
     }
 
     // dx = g W^T (weights packed once in the persistent cache).
+    // Always f32: low precision is an inference-path optimisation.
     Tensor dx({m, in_features()});
-    GemmWeightBT(g, w_.value, dx, nthreads_);
+    GemmWeightBT(g, w_.value, dx, nthreads_, kernels::Dtype::kF32);
     return dx;
 }
 

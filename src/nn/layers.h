@@ -58,6 +58,16 @@ class Linear : public Module
     Activation activation() const { return act_; }
     void set_nthreads(int n) { nthreads_ = n; }
 
+    /**
+     * Weight precision for Forward's packed GEMM (f32 / bf16 / int8
+     * quantize-on-pack). Defaults to the process-wide ActiveDtype()
+     * (SECEMB_PRECISION) at construction. Backward always runs f32:
+     * low precision is an inference-path optimisation and gradients
+     * keep full fidelity.
+     */
+    void set_dtype(kernels::Dtype dtype) { dtype_ = dtype; }
+    kernels::Dtype dtype() const { return dtype_; }
+
   private:
     Parameter w_;  ///< (in x out)
     Parameter b_;  ///< (out)
@@ -66,6 +76,7 @@ class Linear : public Module
     Tensor cached_preact_;  ///< pre-activation (GELU gradient source)
     int nthreads_;
     Activation act_;
+    kernels::Dtype dtype_ = kernels::ActiveDtype();
 };
 
 /** Rectified linear unit with branchless (mask-blend) forward. */

@@ -40,6 +40,9 @@ Server::Server(
     for (auto& sink : sinks_) {
         sink.store(nullptr, std::memory_order_relaxed);
     }
+    for (auto& f : features_) {
+        if (f != nullptr) f->set_precision(config_.precision);
+    }
     batcher_ = std::thread([this] { BatcherLoop(); });
 }
 

@@ -86,6 +86,11 @@ struct ServerConfig
     int min_degrade_level = 0;
     /// Worker threads handed to each generator.
     int nthreads = 1;
+    /// GEMM weight precision applied to every generator at construction
+    /// (compute-based generators quantize their decoder weights on the
+    /// next pack; table generators ignore it). Defaults to the
+    /// process-wide kernels::ActiveDtype() (SECEMB_PRECISION).
+    kernels::Dtype precision = kernels::ActiveDtype();
     /// Time source; nullptr = DefaultClock(). Point at a FaultSkewedClock
     /// to let a FaultPlan skew batcher time.
     const Clock* clock = nullptr;

@@ -62,4 +62,8 @@ struct AlignedAllocator64
 /** The storage type behind Tensor payloads and packed kernel panels. */
 using AlignedFloatVector = std::vector<float, AlignedAllocator64<float>>;
 
+/** Aligned raw storage for quantized (bf16/int8) packed panels. */
+using AlignedByteVector =
+    std::vector<unsigned char, AlignedAllocator64<unsigned char>>;
+
 }  // namespace secemb

@@ -98,7 +98,8 @@ GemmBT(const Tensor& a, const Tensor& b_t, Tensor& c, int nthreads)
 }
 
 void
-GemmWeightBT(const Tensor& a, const Tensor& w, Tensor& c, int nthreads)
+GemmWeightBT(const Tensor& a, const Tensor& w, Tensor& c, int nthreads,
+             kernels::Dtype dtype)
 {
     const int64_t m = a.size(0), k = a.size(1), n = w.size(0);
     if (w.size(1) != k) {
@@ -111,7 +112,7 @@ GemmWeightBT(const Tensor& a, const Tensor& w, Tensor& c, int nthreads)
     AssertKernelAlignment(a, c);
 
     const auto packed = kernels::PackedWeightCache::Instance().Get(
-        w.data(), k, n, /*transposed_src=*/true);
+        w.data(), k, n, /*transposed_src=*/true, dtype);
     kernels::GemmArgs args;
     args.a = a.data();
     args.b = packed.get();
@@ -159,16 +160,16 @@ MatMul(const Tensor& a, const Tensor& b, int nthreads)
 
 void
 AffineForward(const Tensor& x, const Tensor& w, const Tensor& bias,
-              Tensor& y, int nthreads)
+              Tensor& y, int nthreads, kernels::Dtype dtype)
 {
     AffineActForward(x, w, bias, y, nthreads,
-                     kernels::Activation::kIdentity);
+                     kernels::Activation::kIdentity, nullptr, dtype);
 }
 
 void
 AffineActForward(const Tensor& x, const Tensor& w, const Tensor& bias,
                  Tensor& y, int nthreads, kernels::Activation act,
-                 Tensor* preact)
+                 Tensor* preact, kernels::Dtype dtype)
 {
     const int64_t m = x.size(0), k = x.size(1), n = w.size(1);
     if (w.size(0) != k) {
@@ -184,7 +185,7 @@ AffineActForward(const Tensor& x, const Tensor& w, const Tensor& bias,
     AssertKernelAlignment(x, y);
 
     const auto packed = kernels::PackedWeightCache::Instance().Get(
-        w.data(), k, n, /*transposed_src=*/false);
+        w.data(), k, n, /*transposed_src=*/false, dtype);
     kernels::GemmArgs args;
     args.a = x.data();
     args.b = packed.get();

@@ -15,7 +15,9 @@
  * *Naive reference loops are kept as the correctness/perf baseline for
  * tests and benchmarks. Weight-operand variants (AffineActForward,
  * GemmWeightBT) pack through the persistent weight cache so FC weights
- * are packed once and reused across batches.
+ * are packed once and reused across batches; they take a kernels::Dtype
+ * selecting the weight precision (f32 / bf16 / int8 quantize-on-pack),
+ * defaulting to the process-wide kernels::ActiveDtype().
  */
 
 #include <cstdint>
@@ -45,7 +47,8 @@ void GemmAT(const Tensor& a_t, const Tensor& b, Tensor& c, int nthreads = 1);
  * across every step at unchanged content.
  */
 void GemmWeightBT(const Tensor& a, const Tensor& w, Tensor& c,
-                  int nthreads = 1);
+                  int nthreads = 1,
+                  kernels::Dtype dtype = kernels::ActiveDtype());
 
 /** Returning convenience wrapper around Gemm. */
 Tensor MatMul(const Tensor& a, const Tensor& b, int nthreads = 1);
@@ -57,7 +60,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b, int nthreads = 1);
  * epilogue (no separate pass).
  */
 void AffineForward(const Tensor& x, const Tensor& w, const Tensor& bias,
-                   Tensor& y, int nthreads = 1);
+                   Tensor& y, int nthreads = 1,
+                   kernels::Dtype dtype = kernels::ActiveDtype());
 
 /**
  * y = act(x * W + bias): AffineForward with the activation fused into
@@ -66,7 +70,8 @@ void AffineForward(const Tensor& x, const Tensor& w, const Tensor& bias,
  */
 void AffineActForward(const Tensor& x, const Tensor& w, const Tensor& bias,
                       Tensor& y, int nthreads, kernels::Activation act,
-                      Tensor* preact = nullptr);
+                      Tensor* preact = nullptr,
+                      kernels::Dtype dtype = kernels::ActiveDtype());
 
 // ---------------------------------------------------------------------------
 // Naive reference kernels (tests and benchmarks)

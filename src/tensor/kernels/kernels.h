@@ -72,6 +72,60 @@ Isa ActiveIsa();
 void SetIsaForTest(int isa_or_negative);
 
 // ---------------------------------------------------------------------------
+// Precision tiers
+// ---------------------------------------------------------------------------
+
+/**
+ * Storage precision of packed weight panels. Quantization happens at
+ * pack time; every tier accumulates and stores C in f32, and the
+ * blocked traversal (hence the address trace) is identical across
+ * precisions — only the payload of the panel loads changes.
+ *
+ *   kF32  : reference panels, bit-exact packed GEMM
+ *   kBf16 : B panels stored as round-to-nearest-even bf16, widened to
+ *           f32 in the microkernel (half the panel traffic)
+ *   kInt8 : B quantized per column (symmetric, s8), A quantized per row
+ *           at pack time (7-bit unsigned, zero point 64 — keeps the
+ *           AVX2 pmaddubsw path saturation-free), integer dot products
+ *           with f32 dequant fused into the final-k-block store
+ */
+enum class Dtype
+{
+    kF32 = 0,
+    kBf16 = 1,
+    kInt8 = 2,
+};
+
+/** Lowercase precision name: "f32", "bf16", "int8". */
+const char* DtypeName(Dtype dtype);
+
+/** Parse a DtypeName; returns false on unknown name. */
+bool ParseDtype(const char* name, Dtype* out);
+
+/**
+ * The precision dispatched GEMMs default to: SetDtypeForTest() override
+ * if set, else SECEMB_PRECISION=f32|bf16|int8 (parsed once), else f32.
+ * Layers can still pin a precision explicitly.
+ */
+Dtype ActiveDtype();
+
+/**
+ * Test hook: force a precision (pass static_cast<int>(Dtype)) or
+ * restore normal selection (pass -1). Not for production use.
+ */
+void SetDtypeForTest(int dtype_or_negative);
+
+/**
+ * The tier that actually serves (want, dtype): steps down from `want`
+ * while the precision's microkernel is unavailable there (e.g. int8 at
+ * kAvx512 needs AVX-512 VNNI; without it the int8 path runs the AVX2
+ * kernel). The scalar tier implements every precision, so this always
+ * resolves. Packing and dispatch both use this, keeping PackedB::isa
+ * consistent with the kernel that consumes it.
+ */
+Isa EffectiveIsaFor(Isa want, Dtype dtype);
+
+// ---------------------------------------------------------------------------
 // Fused epilogue
 // ---------------------------------------------------------------------------
 
@@ -126,6 +180,15 @@ struct Epilogue
  * holds rows 0..k of columns [j*nr, j*nr+nr) as k contiguous nr-float
  * groups, zero-padded to nr. The buffer is 64-byte aligned and panel
  * strides preserve that alignment.
+ *
+ * Quantized precisions store panels in `qdata` instead of `data`:
+ *   kBf16 : the same group layout with 2-byte bf16 elements.
+ *   kInt8 : k is padded to groups of 4; group g of panel j holds, for
+ *           each of the nr columns, the 4 consecutive s8 values of
+ *           depths [4g, 4g+4) — the operand order vpdpbusd/pmaddubsw
+ *           consume directly. Per-column scales (`col_scales`) and
+ *           per-k-block column sums (`col_block_sums`, for the A
+ *           zero-point correction) are computed at pack time.
  */
 struct PackedB
 {
@@ -133,20 +196,51 @@ struct PackedB
     int64_t n = 0;
     int nr = 0;
     Isa isa = Isa::kScalar;
+    Dtype dtype = Dtype::kF32;
     bool transposed_src = false;  ///< packed from an n x k (B^T) source
     uint64_t content_hash = 0;    ///< hash of the source weights
-    AlignedFloatVector data;
+    AlignedFloatVector data;      ///< kF32 panels
+    AlignedByteVector qdata;      ///< kBf16 / kInt8 panels
+    /** kInt8: dequant scale per padded column (panels() * nr). */
+    AlignedFloatVector col_scales;
+    /** kInt8: per k-block sums of the quantized column values, indexed
+     * [k_block * panels() * nr + column] — the zero-point correction. */
+    std::vector<int32_t> col_block_sums;
 
     int64_t panels() const { return nr == 0 ? 0 : (n + nr - 1) / nr; }
     int64_t panel_stride() const { return k * int64_t{nr}; }
+    /** kInt8: depth groups of 4 (k zero-padded up). */
+    int64_t k_groups() const { return (k + 3) / 4; }
+    /** Panel stride in bytes of the active storage. */
+    int64_t panel_stride_bytes() const
+    {
+        switch (dtype) {
+            case Dtype::kF32:
+                return panel_stride() * int64_t{sizeof(float)};
+            case Dtype::kBf16:
+                return panel_stride() * 2;
+            case Dtype::kInt8:
+                return k_groups() * 4 * int64_t{nr};
+        }
+        return 0;
+    }
 };
 
 /**
- * Pack `b` for `isa`. When transposed_src, `b` is an n x k row-major
- * buffer read as B^T (the GemmBT case: C = A * B^T).
+ * Pack `b` for `isa` at f32. When transposed_src, `b` is an n x k
+ * row-major buffer read as B^T (the GemmBT case: C = A * B^T).
  */
 void PackB(const float* b, int64_t k, int64_t n, bool transposed_src,
            Isa isa, PackedB* out);
+
+/**
+ * Pack `b` for (`isa`, `dtype`). `isa` must be the EffectiveIsaFor the
+ * dtype (callers that dispatch through ActiveIsa() resolve it first);
+ * quantization parameters are derived from the source values here, at
+ * pack time.
+ */
+void PackB(const float* b, int64_t k, int64_t n, bool transposed_src,
+           Isa isa, Dtype dtype, PackedB* out);
 
 /** Cheap 64-bit content hash used for packed-weight staleness checks. */
 uint64_t HashWeights(const float* data, int64_t count);
@@ -180,12 +274,14 @@ void GemmPacked(const GemmArgs& args);
 
 /**
  * Process-wide cache of packed weight panels, keyed by (buffer address,
- * shape, transposition, tier). Every Get() rehashes the source buffer
- * and repacks on mismatch, so in-place optimiser updates (and buffer
- * reuse after frees) can never serve stale panels; the hash pass is
- * O(k*n) reads versus the GEMM's O(2*m*k*n) flops. Entries are returned
- * as shared_ptr so a Clear() or repack cannot invalidate panels a
- * running GEMM still holds. Thread-safe.
+ * shape, transposition, tier, precision). Every Get() rehashes the
+ * source buffer and repacks on mismatch, so in-place optimiser updates
+ * (and buffer reuse after frees) can never serve stale panels; the hash
+ * pass is O(k*n) reads versus the GEMM's O(2*m*k*n) flops. Entries are
+ * returned as shared_ptr so a Clear() or repack cannot invalidate
+ * panels a running GEMM still holds. Quantize-on-pack: a quantized
+ * precision's scales and integer panels are derived here, once, and
+ * revalidated by the same f32 content hash. Thread-safe.
  */
 class PackedWeightCache
 {
@@ -193,9 +289,12 @@ class PackedWeightCache
     static PackedWeightCache& Instance();
 
     /** Packed panels for weights `w` (k x n; n x k if transposed_src),
-     * packed for ActiveIsa(). Packs on first use or content change. */
+     * packed for EffectiveIsaFor(ActiveIsa(), dtype). Packs on first
+     * use, content change, or first use at a new precision (distinct
+     * precisions keep distinct entries — switching back is a hit). */
     std::shared_ptr<const PackedB> Get(const float* w, int64_t k,
-                                       int64_t n, bool transposed_src);
+                                       int64_t n, bool transposed_src,
+                                       Dtype dtype = Dtype::kF32);
 
     /** Drop all entries (tests; also releases panel memory). */
     void Clear();

@@ -1,8 +1,11 @@
 /**
  * @file
- * AVX-512F microkernel: 8x32 register tile (16 zmm accumulators + 2 B
- * vectors + 1 broadcast of 32 registers). Compiled with -mavx512f on
- * this TU only; selected at runtime only when the CPU reports avx512f.
+ * AVX-512F microkernels: the f32 8x32 register tile (16 zmm
+ * accumulators + 2 B vectors + 1 broadcast of 32 registers) and the
+ * bf16 variant widening 2-byte B groups on load (avx512f only — no
+ * avx512bf16 needed). Compiled with -mavx512f on this TU only;
+ * selected at runtime only when the CPU reports avx512f. The int8
+ * vpdpbusd tile needs -mavx512vnni and lives in micro_int8_avx512.cc.
  */
 
 #include <immintrin.h>
@@ -44,6 +47,47 @@ struct MicroAvx512
     }
 };
 
+/** 16 bf16 lanes widened to one f32 zmm (exact widening). */
+inline __m512
+WidenBf16(__m256i h)
+{
+    return _mm512_castsi512_ps(
+        _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16));
+}
+
+struct MicroAvx512Bf16
+{
+    static constexpr int kMr = 8;
+    static constexpr int kNr = 32;
+
+    static void
+    TileBf16(const float* pa, const uint16_t* pb, int64_t kc, float* acc)
+    {
+        __m512 c[kMr][2];
+        for (int r = 0; r < kMr; ++r) {
+            c[r][0] = _mm512_setzero_ps();
+            c[r][1] = _mm512_setzero_ps();
+        }
+        for (int64_t p = 0; p < kc; ++p) {
+            // Panel rows are 64B groups off a 64B base: aligned loads.
+            const __m512i bh = _mm512_load_si512(pb + p * kNr);
+            const __m512 b0 = WidenBf16(_mm512_castsi512_si256(bh));
+            const __m512 b1 =
+                WidenBf16(_mm512_extracti64x4_epi64(bh, 1));
+            const float* av = pa + p * kMr;
+            for (int r = 0; r < kMr; ++r) {
+                const __m512 a = _mm512_set1_ps(av[r]);
+                c[r][0] = _mm512_fmadd_ps(a, b0, c[r][0]);
+                c[r][1] = _mm512_fmadd_ps(a, b1, c[r][1]);
+            }
+        }
+        for (int r = 0; r < kMr; ++r) {
+            _mm512_store_ps(acc + r * kNr, c[r][0]);
+            _mm512_store_ps(acc + r * kNr + 16, c[r][1]);
+        }
+    }
+};
+
 }  // namespace
 
 const TierOps&
@@ -54,6 +98,15 @@ Avx512TierOps()
         MicroAvx512::kNr,
         &PackBPanels<MicroAvx512::kNr>,
         &BlockedDriver<MicroAvx512>::Run,
+        &PackBPanelsBf16<MicroAvx512Bf16::kNr>,
+        &Bf16BlockedDriver<MicroAvx512Bf16>::Run,
+#if defined(SECEMB_KERNELS_AVX512VNNI)
+        &Avx512VnniInt8PackB,
+        &Avx512VnniInt8Run,
+#else
+        nullptr,
+        nullptr,
+#endif
     };
     return ops;
 }

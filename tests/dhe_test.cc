@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
 #include <cmath>
+#include <cstring>
 #include <set>
 
 #include "dhe/dhe.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
+#include "tensor/kernels/kernels.h"
 
 namespace secemb::dhe {
 namespace {
@@ -75,6 +78,61 @@ TEST(HashEncoderTest, LargeIdsDoNotOverflow)
         EXPECT_GE(out.at(i), -1.0f);
         EXPECT_LE(out.at(i), 1.0f);
     }
+}
+
+/**
+ * Id-domain edge cases pinned against the kept __int128 scalar
+ * reference: negatives hash via the two's-complement bit pattern (the
+ * header's contract), zero and INT64_MAX are in-domain, and the
+ * vectorized tiers must match the reference bit-exactly — not merely
+ * within tolerance — at every thread count.
+ */
+TEST(HashEncoderTest, EdgeIdsMatchReferenceBitExactlyOnEveryTier)
+{
+    Rng rng(5);
+    using kernels::Isa;
+    // Odd k exercises the SIMD kernels' scalar tail; m values cover the
+    // Barrett path (1e6, 2), m = p, and the identity path (m > p).
+    for (int64_t m : std::vector<int64_t>{1000000, 2, HashEncoder::kPrime,
+                                          int64_t{1} << 40}) {
+        HashEncoder enc(67, m, rng);
+        const std::vector<int64_t> ids{
+            0,        1,         -1,       -42,
+            LLONG_MIN, LLONG_MAX, -1000000, HashEncoder::kPrime,
+            HashEncoder::kPrime + 1};
+        Tensor ref({static_cast<int64_t>(ids.size()), 67});
+        enc.EncodeReference(ids, ref);
+        for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+            if (!kernels::IsaSupported(isa)) continue;
+            kernels::SetIsaForTest(static_cast<int>(isa));
+            for (int nthreads : {1, 4}) {
+                const Tensor got = enc.Encode(ids, nthreads);
+                EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                                      sizeof(float) *
+                                          static_cast<size_t>(
+                                              got.numel())),
+                          0)
+                    << "m=" << m << " isa=" << kernels::IsaName(isa)
+                    << " nthreads=" << nthreads;
+            }
+            kernels::SetIsaForTest(-1);
+        }
+    }
+}
+
+TEST(HashEncoderTest, NegativeIdsDoNotCollideWithPositives)
+{
+    // id -> uint64_t(id) is a bijection: -1 hashes as 2^64 - 1, not as
+    // 1, so the sign bit carries hash information.
+    Rng rng(6);
+    HashEncoder enc(16, 1000000, rng);
+    const Tensor neg = enc.Encode(std::vector<int64_t>{-1});
+    const Tensor pos = enc.Encode(std::vector<int64_t>{1});
+    bool any_diff = false;
+    for (int64_t j = 0; j < 16; ++j) {
+        if (neg.at(j) != pos.at(j)) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
 }
 
 TEST(DheConfigTest, UniformMatchesPaper)

@@ -83,7 +83,8 @@ TEST(KernelCacheStressTest, GetRevalidateClearRace)
                     w.data()[at] += 1.0f;
                     Tensor want({kM, kN}), got({kM, kN});
                     GemmNaive(x, w, want);
-                    AffineForward(x, w, Tensor(), got);
+                    AffineForward(x, w, Tensor(), got, 1,
+                                  kernels::Dtype::kF32);
                     if (MaxRelError(got, want) > kRelTol) ++failures;
                 } else {
                     // Reader: hot-path Get() on the shared weights; the
@@ -96,7 +97,8 @@ TEST(KernelCacheStressTest, GetRevalidateClearRace)
                         continue;
                     }
                     Tensor got({kM, kN});
-                    AffineForward(x, shared_w, Tensor(), got);
+                    AffineForward(x, shared_w, Tensor(), got, 1,
+                                  kernels::Dtype::kF32);
                     if (MaxRelError(got, shared_want) > kRelTol) {
                         ++failures;
                     }

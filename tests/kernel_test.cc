@@ -5,10 +5,15 @@
  * Seeded property tests compare every compiled ISA tier against the
  * naive reference loops across odd/tail shapes, the fused epilogue
  * against separate bias/activation passes, and the persistent
- * packed-weight cache against in-place weight mutation. The trace
- * section proves the obliviousness claim: canonical traces of the
- * certified generators are bit-identical regardless of which GEMM tier
- * runs underneath (label `leakage`).
+ * packed-weight cache against in-place weight mutation. The
+ * low-precision sections hold the int8/bf16 tiers to a derived
+ * per-element quantization error bound against the f32 naive
+ * reference, pin cross-tier int8 bit-identity (all tiers share one
+ * quantization scheme) and skinny-m 2-D-split determinism, and verify
+ * the cache keeps distinct entries per precision. The trace section
+ * proves the obliviousness claim: canonical traces of the certified
+ * generators are bit-identical regardless of which GEMM tier — and
+ * which precision — runs underneath (label `leakage`).
  */
 
 #include <cmath>
@@ -305,7 +310,8 @@ TEST(KernelEpilogueTest, FusedBiasActMatchesSeparatePasses)
             }
 
             Tensor got({m, n}), preact({m, n});
-            AffineActForward(x, w, bias, got, 1, act, &preact);
+            AffineActForward(x, w, bias, got, 1, act, &preact,
+                             kernels::Dtype::kF32);
             EXPECT_LE(MaxRelError(got, want), kRelTol)
                 << kernels::IsaName(isa) << " act="
                 << static_cast<int>(act);
@@ -332,7 +338,7 @@ TEST(KernelEpilogueTest, EmptyBiasSkipsBroadcast)
     const Tensor w = Tensor::Randn({31, 13}, rng);
     Tensor want({9, 13}), got({9, 13});
     GemmNaive(x, w, want);
-    AffineForward(x, w, Tensor(), got);
+    AffineForward(x, w, Tensor(), got, 1, kernels::Dtype::kF32);
     EXPECT_LE(MaxRelError(got, want), kRelTol);
     kernels::PackedWeightCache::Instance().Clear();
 }
@@ -371,14 +377,14 @@ TEST(PackedWeightCacheTest, InPlaceMutationTriggersRepack)
     const Tensor x = Tensor::Randn({8, 24}, rng);
 
     Tensor y1({8, 16});
-    AffineForward(x, w, Tensor(), y1);
+    AffineForward(x, w, Tensor(), y1, 1, kernels::Dtype::kF32);
 
     // Optimiser-style in-place update: same buffer, new content. The
     // cache must notice via the content hash and serve fresh panels.
     w.ScaleInPlace(2.0f);
     const auto before = cache.stats();
     Tensor y2({8, 16});
-    AffineForward(x, w, Tensor(), y2);
+    AffineForward(x, w, Tensor(), y2, 1, kernels::Dtype::kF32);
     const auto after = cache.stats();
     EXPECT_EQ(after.repacks - before.repacks, 1u);
 
@@ -460,9 +466,363 @@ TEST(APackScratchTest, ScratchShrinksAfterLargePack)
     const Tensor w = Tensor::Randn({16, 8}, rng);
     Tensor want({8, 8}), got({8, 8});
     GemmNaive(x, w, want);
-    AffineForward(x, w, Tensor(), got);
+    AffineForward(x, w, Tensor(), got, 1, kernels::Dtype::kF32);
     EXPECT_LE(MaxRelError(got, want), kRelTol);
     cache.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Low-precision tiers (int8 / bf16)
+// ---------------------------------------------------------------------------
+
+using kernels::Dtype;
+
+/** Forces a precision for the scope of a test; restores env selection. */
+class ScopedDtype
+{
+  public:
+    explicit ScopedDtype(Dtype dtype)
+    {
+        kernels::SetDtypeForTest(static_cast<int>(dtype));
+    }
+    ~ScopedDtype() { kernels::SetDtypeForTest(-1); }
+};
+
+/** Runs the packed GEMM at an explicit precision (transient pack). */
+void
+GemmAtDtype(const Tensor& a, const Tensor& b, Tensor& c, Dtype dtype,
+            int nthreads, const kernels::Epilogue& ep = {})
+{
+    kernels::PackedB packed;
+    kernels::PackB(b.data(), b.size(0), b.size(1),
+                   /*transposed_src=*/false, kernels::ActiveIsa(), dtype,
+                   &packed);
+    kernels::GemmArgs args;
+    args.a = a.data();
+    args.b = &packed;
+    args.c = c.data();
+    args.m = a.size(0);
+    args.nthreads = nthreads;
+    args.epilogue = ep;
+    kernels::GemmPacked(args);
+}
+
+/**
+ * Derived per-element quantization error bound.
+ *
+ * int8: B columns quantize with scale sb_j = colmax|b| / 127 (|db| <=
+ * sb_j/2), A rows with sa_i = rowmax|a| / 63 (|da| <= sa_i/2), so
+ *
+ *   |sum (a+da)(b+db) - sum ab|
+ *     <= (sb_j/2) sum|a| + (sa_i/2) sum|b| + k sa_i sb_j / 4.
+ *
+ * bf16: only B quantizes, round-to-nearest-even on an 8-bit
+ * significand (7 stored mantissa bits; |db| <= 2^-8 |b|), giving
+ * 2^-8 sum|a||b|. Both get the f32
+ * accumulation slop the f32 tier tolerance already allows, and a 1.5x
+ * safety factor on the quantization part.
+ */
+Tensor
+QuantErrorBound(const Tensor& a, const Tensor& b, Dtype dtype)
+{
+    const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+    Tensor bound({m, n});
+    std::vector<float> sa(static_cast<size_t>(m));
+    std::vector<float> abs_row(static_cast<size_t>(m));
+    for (int64_t i = 0; i < m; ++i) {
+        float amax = 0.0f, asum = 0.0f;
+        for (int64_t p = 0; p < k; ++p) {
+            amax = std::max(amax, std::fabs(a.at(i, p)));
+            asum += std::fabs(a.at(i, p));
+        }
+        sa[static_cast<size_t>(i)] = amax / 63.0f;
+        abs_row[static_cast<size_t>(i)] = asum;
+    }
+    std::vector<float> sb(static_cast<size_t>(n));
+    std::vector<float> abs_col(static_cast<size_t>(n));
+    for (int64_t j = 0; j < n; ++j) {
+        float bmax = 0.0f, bsum = 0.0f;
+        for (int64_t p = 0; p < k; ++p) {
+            bmax = std::max(bmax, std::fabs(b.at(p, j)));
+            bsum += std::fabs(b.at(p, j));
+        }
+        sb[static_cast<size_t>(j)] = bmax / 127.0f;
+        abs_col[static_cast<size_t>(j)] = bsum;
+    }
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            float q = 0.0f;
+            if (dtype == Dtype::kInt8) {
+                q = 0.5f * sb[static_cast<size_t>(j)] *
+                        abs_row[static_cast<size_t>(i)] +
+                    0.5f * sa[static_cast<size_t>(i)] *
+                        abs_col[static_cast<size_t>(j)] +
+                    0.25f * static_cast<float>(k) *
+                        sa[static_cast<size_t>(i)] *
+                        sb[static_cast<size_t>(j)];
+            } else if (dtype == Dtype::kBf16) {
+                float dot_abs = 0.0f;
+                for (int64_t p = 0; p < k; ++p) {
+                    dot_abs += std::fabs(a.at(i, p) * b.at(p, j));
+                }
+                q = dot_abs / 256.0f;  // 2^-8 relative per B element
+            }
+            bound.at(i, j) = 1.5f * q + 1e-5f;
+        }
+    }
+    return bound;
+}
+
+TEST(KernelLowPrecisionTest, QuantizedGemmWithinDerivedBoundOnEveryTier)
+{
+    // 334 shapes x up to 3 tiers x 2 precisions > 1000 property cases.
+    Rng rng(131);
+    const auto corpus = ShapeCorpus(232);
+    for (Dtype dtype : {Dtype::kInt8, Dtype::kBf16}) {
+        ScopedDtype scoped_dtype(dtype);
+        for (Isa isa : SupportedTiers()) {
+            ScopedIsa scoped(isa);
+            for (const auto& tc : corpus) {
+                const Tensor a = Tensor::Randn({tc.m, tc.k}, rng);
+                const Tensor b = Tensor::Randn({tc.k, tc.n}, rng);
+                Tensor want({tc.m, tc.n}), got({tc.m, tc.n});
+                GemmNaive(a, b, want);
+                GemmAtDtype(a, b, got, dtype, tc.nthreads);
+                const Tensor bound = QuantErrorBound(a, b, dtype);
+                for (int64_t i = 0; i < want.numel(); ++i) {
+                    const float tol =
+                        bound.at(i) + kRelTol * std::max(
+                                          1.0f, std::fabs(want.at(i)));
+                    ASSERT_LE(std::fabs(got.at(i) - want.at(i)), tol)
+                        << kernels::DtypeName(dtype) << "/"
+                        << kernels::IsaName(isa) << " m=" << tc.m
+                        << " k=" << tc.k << " n=" << tc.n << " elem "
+                        << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelLowPrecisionTest, Int8TiersAreBitIdentical)
+{
+    // All int8 tiers share one quantization scheme and integer dot, so
+    // their f32 outputs must agree exactly — not just within tolerance.
+    Rng rng(133);
+    const auto tiers = SupportedTiers();
+    for (const auto& sh :
+         std::vector<GemmCase>{{1, 1024, 512, 1},
+                               {8, 512, 256, 3},
+                               {65, 385, 129, 1},
+                               {17, 3, 9, 1}}) {
+        const Tensor a = Tensor::Randn({sh.m, sh.k}, rng);
+        const Tensor b = Tensor::Randn({sh.k, sh.n}, rng);
+        Tensor base({sh.m, sh.n});
+        {
+            ScopedIsa scoped(tiers.front());
+            GemmAtDtype(a, b, base, Dtype::kInt8, sh.nthreads);
+        }
+        for (size_t t = 1; t < tiers.size(); ++t) {
+            ScopedIsa scoped(tiers[t]);
+            Tensor got({sh.m, sh.n});
+            GemmAtDtype(a, b, got, Dtype::kInt8, sh.nthreads);
+            for (int64_t i = 0; i < got.numel(); ++i) {
+                ASSERT_EQ(got.at(i), base.at(i))
+                    << kernels::IsaName(tiers[t]) << " m=" << sh.m
+                    << " k=" << sh.k << " n=" << sh.n;
+            }
+        }
+    }
+}
+
+TEST(KernelLowPrecisionTest, SkinnyMSplitIsThreadCountInvariant)
+{
+    // Decoder GEMMs (m <= 8) engage the 2-D column split when threads
+    // exceed row tiles; every worker owns disjoint C columns with the
+    // same sequential k-block order, so results must be bit-identical
+    // at any thread count — for every precision.
+    Rng rng(135);
+    for (Dtype dtype : {Dtype::kF32, Dtype::kBf16, Dtype::kInt8}) {
+        for (const auto& sh : std::vector<GemmCase>{{1, 384, 1024, 0},
+                                                    {4, 512, 640, 0},
+                                                    {8, 700, 4100, 0}}) {
+            const Tensor a = Tensor::Randn({sh.m, sh.k}, rng);
+            const Tensor b = Tensor::Randn({sh.k, sh.n}, rng);
+            Tensor base({sh.m, sh.n});
+            GemmAtDtype(a, b, base, dtype, 1);
+            for (int nth : {2, 4, 8}) {
+                Tensor got({sh.m, sh.n});
+                GemmAtDtype(a, b, got, dtype, nth);
+                for (int64_t i = 0; i < got.numel(); ++i) {
+                    ASSERT_EQ(got.at(i), base.at(i))
+                        << kernels::DtypeName(dtype) << " m=" << sh.m
+                        << " n=" << sh.n << " nth=" << nth;
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelLowPrecisionTest, FusedEpilogueMatchesUnfusedPerPrecision)
+{
+    Rng rng(137);
+    const int64_t m = 9, k = 450, n = 47;  // crosses one KC boundary
+    for (Dtype dtype : {Dtype::kF32, Dtype::kBf16, Dtype::kInt8}) {
+        for (Isa isa : SupportedTiers()) {
+            ScopedIsa scoped(isa);
+            for (const auto act :
+                 {Activation::kIdentity, Activation::kRelu,
+                  Activation::kGelu}) {
+                const Tensor x = Tensor::Randn({m, k}, rng);
+                const Tensor w = Tensor::Randn({k, n}, rng);
+                const Tensor bias = Tensor::Randn({n}, rng);
+
+                // Unfused at the same precision: bare quantized GEMM,
+                // then separate bias + activation sweeps.
+                Tensor want({m, n});
+                GemmAtDtype(x, w, want, dtype, 1);
+                Tensor want_pre = want;
+                for (int64_t i = 0; i < m; ++i) {
+                    for (int64_t j = 0; j < n; ++j) {
+                        float v = want.at(i, j) + bias.at(j);
+                        want_pre.at(i, j) = v;
+                        if (act == Activation::kRelu) {
+                            v = std::max(0.0f, v);
+                        }
+                        if (act == Activation::kGelu) {
+                            v = kernels::GeluF(v);
+                        }
+                        want.at(i, j) = v;
+                    }
+                }
+
+                Tensor got({m, n}), preact({m, n});
+                kernels::Epilogue ep;
+                ep.bias = bias.data();
+                ep.act = act;
+                ep.preact = preact.data();
+                GemmAtDtype(x, w, got, dtype, 1, ep);
+                EXPECT_LE(MaxRelError(got, want), kRelTol)
+                    << kernels::DtypeName(dtype) << "/"
+                    << kernels::IsaName(isa) << " act="
+                    << static_cast<int>(act);
+                EXPECT_LE(MaxRelError(preact, want_pre), kRelTol)
+                    << kernels::DtypeName(dtype) << "/"
+                    << kernels::IsaName(isa);
+            }
+        }
+    }
+}
+
+TEST(KernelLowPrecisionTest, ZeroRowsAndColumnsStayExact)
+{
+    // amax = 0 rows get scale 0 and must contribute exactly zero (no
+    // zero-point residue); all-zero B columns likewise.
+    Rng rng(139);
+    Tensor a = Tensor::Randn({5, 96}, rng);
+    Tensor b = Tensor::Randn({96, 24}, rng);
+    for (int64_t p = 0; p < 96; ++p) {
+        a.at(2, p) = 0.0f;
+        b.at(p, 3) = 0.0f;
+    }
+    for (Dtype dtype : {Dtype::kInt8, Dtype::kBf16}) {
+        for (Isa isa : SupportedTiers()) {
+            ScopedIsa scoped(isa);
+            Tensor got({5, 24});
+            GemmAtDtype(a, b, got, dtype, 1);
+            for (int64_t j = 0; j < 24; ++j) {
+                ASSERT_EQ(got.at(2, j), 0.0f)
+                    << kernels::DtypeName(dtype) << "/"
+                    << kernels::IsaName(isa);
+            }
+            for (int64_t i = 0; i < 5; ++i) {
+                ASSERT_EQ(got.at(i, 3), 0.0f)
+                    << kernels::DtypeName(dtype) << "/"
+                    << kernels::IsaName(isa);
+            }
+        }
+    }
+}
+
+TEST(PackedWeightCacheTest, PrecisionSwitchKeepsDistinctEntries)
+{
+    auto& cache = kernels::PackedWeightCache::Instance();
+    cache.Clear();
+    Rng rng(141);
+    const Tensor w = Tensor::Randn({24, 16}, rng);
+
+    const auto f32 = cache.Get(w.data(), 24, 16, false, Dtype::kF32);
+    const auto i8 = cache.Get(w.data(), 24, 16, false, Dtype::kInt8);
+    const auto bf = cache.Get(w.data(), 24, 16, false, Dtype::kBf16);
+    EXPECT_NE(f32.get(), i8.get());
+    EXPECT_NE(f32.get(), bf.get());
+    EXPECT_NE(i8.get(), bf.get());
+    EXPECT_EQ(cache.entries(), 3u);
+    EXPECT_EQ(f32->dtype, Dtype::kF32);
+    EXPECT_EQ(i8->dtype, Dtype::kInt8);
+    EXPECT_EQ(bf->dtype, Dtype::kBf16);
+
+    // Switching back is a hit, not a repack.
+    const auto before = cache.stats();
+    const auto again = cache.Get(w.data(), 24, 16, false, Dtype::kF32);
+    const auto after = cache.stats();
+    EXPECT_EQ(again.get(), f32.get());
+    EXPECT_EQ(after.hits - before.hits, 1u);
+    EXPECT_EQ(after.repacks - before.repacks, 0u);
+    cache.Clear();
+}
+
+TEST(PackedWeightCacheTest, MutationRepacksQuantizedEntry)
+{
+    // Content-hash revalidation is precision-independent: an in-place
+    // weight update must re-quantize the int8 panels too.
+    auto& cache = kernels::PackedWeightCache::Instance();
+    cache.Clear();
+    Rng rng(143);
+    Tensor w = Tensor::Randn({24, 16}, rng);
+    const Tensor x = Tensor::Randn({4, 24}, rng);
+
+    Tensor y1({4, 16});
+    AffineForward(x, w, Tensor(), y1, 1, Dtype::kInt8);
+    w.ScaleInPlace(2.0f);
+    const auto before = cache.stats();
+    Tensor y2({4, 16});
+    AffineForward(x, w, Tensor(), y2, 1, Dtype::kInt8);
+    const auto after = cache.stats();
+    EXPECT_EQ(after.repacks - before.repacks, 1u);
+    // Symmetric quantization commutes with scaling, so the int8 result
+    // doubles exactly.
+    EXPECT_LE(MaxRelError(y2, y1.Scale(2.0f)), kRelTol);
+    cache.Clear();
+}
+
+TEST(KernelLowPrecisionTest, PrecisionSelectionPlumbing)
+{
+    EXPECT_STREQ(kernels::DtypeName(Dtype::kF32), "f32");
+    EXPECT_STREQ(kernels::DtypeName(Dtype::kBf16), "bf16");
+    EXPECT_STREQ(kernels::DtypeName(Dtype::kInt8), "int8");
+    Dtype d = Dtype::kF32;
+    EXPECT_TRUE(kernels::ParseDtype("int8", &d));
+    EXPECT_EQ(d, Dtype::kInt8);
+    EXPECT_TRUE(kernels::ParseDtype("bf16", &d));
+    EXPECT_EQ(d, Dtype::kBf16);
+    EXPECT_TRUE(kernels::ParseDtype("f32", &d));
+    EXPECT_EQ(d, Dtype::kF32);
+    EXPECT_FALSE(kernels::ParseDtype("fp64", &d));
+    // Baseline is whatever normal selection picks (the SECEMB_PRECISION
+    // environment override, else f32) — the test must pass under any
+    // SECEMB_PRECISION setting.
+    const Dtype baseline = kernels::ActiveDtype();
+    {
+        ScopedDtype scoped(Dtype::kInt8);
+        EXPECT_EQ(kernels::ActiveDtype(), Dtype::kInt8);
+        // The effective ISA for int8 is always a tier with an int8
+        // kernel compiled in and supported at runtime.
+        const Isa eff = kernels::EffectiveIsaFor(kernels::ActiveIsa(),
+                                                 Dtype::kInt8);
+        EXPECT_TRUE(kernels::IsaSupported(eff));
+    }
+    EXPECT_EQ(kernels::ActiveDtype(), baseline);
 }
 
 // ---------------------------------------------------------------------------
@@ -513,6 +873,44 @@ TEST(KernelTraceTest, DifferentialPassesUnderEveryTier)
             verify::RunDifferential(TraceConfig(verify::Subject::kDhe));
         EXPECT_TRUE(result.passed)
             << kernels::IsaName(isa) << ": " << result.detail;
+    }
+}
+
+TEST(KernelTraceTest, CanonicalTracesIdenticalAcrossPrecisions)
+{
+    // Precision changes arithmetic only: DHE records whole-region
+    // parameter accesses at the generator level, independent of GEMM
+    // internals, so the canonical trace must be bit-identical across
+    // f32/bf16/int8 — under every compiled ISA tier.
+    const auto config = TraceConfig(verify::Subject::kDhe);
+    verify::CanonicalTrace base;
+    {
+        ScopedDtype scoped_dtype(Dtype::kF32);
+        ScopedIsa scoped(Isa::kScalar);
+        base = verify::GoldenRun(config);
+    }
+    ASSERT_FALSE(base.accesses.empty());
+    for (Dtype dtype : {Dtype::kF32, Dtype::kBf16, Dtype::kInt8}) {
+        ScopedDtype scoped_dtype(dtype);
+        for (Isa isa : SupportedTiers()) {
+            ScopedIsa scoped(isa);
+            const auto got = verify::GoldenRun(config);
+            const auto div = verify::CompareCanonical(base, got);
+            EXPECT_FALSE(div.diverged)
+                << kernels::DtypeName(dtype) << " under "
+                << kernels::IsaName(isa) << ": " << div.detail;
+        }
+    }
+}
+
+TEST(KernelTraceTest, DifferentialPassesUnderEveryPrecision)
+{
+    for (Dtype dtype : {Dtype::kBf16, Dtype::kInt8}) {
+        ScopedDtype scoped_dtype(dtype);
+        const auto result =
+            verify::RunDifferential(TraceConfig(verify::Subject::kDhe));
+        EXPECT_TRUE(result.passed)
+            << kernels::DtypeName(dtype) << ": " << result.detail;
     }
 }
 

@@ -239,7 +239,7 @@ TEST(GemmTest, AffineAddsBias)
     const Tensor w = Tensor::Randn({3, 2}, rng);
     const Tensor bias = Tensor::Values({10.0f, 20.0f});
     Tensor y({4, 2});
-    AffineForward(x, w, bias, y);
+    AffineForward(x, w, bias, y, 1, kernels::Dtype::kF32);
     const Tensor expect = NaiveMatMul(x, w);
     for (int64_t i = 0; i < 4; ++i) {
         EXPECT_NEAR(y.at(i, 0), expect.at(i, 0) + 10.0f, 1e-4f);
